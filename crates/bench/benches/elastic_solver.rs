@@ -1,0 +1,52 @@
+//! Criterion bench: the elastic (P-SV) forward and adjoint solves that
+//! build the shake-map twin's p2o map — the §VIII extension's analogue of
+//! the `pde_step` bench. Forward and adjoint must cost the same to within
+//! a small factor (the adjoint is the transposed recurrence, not a
+//! checkpointed re-solve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use tsunami_elastic::{DippingFault, ElasticGrid, ElasticSolver, LayeredMedium};
+
+fn build(nx: usize, nz: usize, nt: usize) -> ElasticSolver {
+    let grid = ElasticGrid::new(nx, nz, 1000.0, 1000.0, 5, 0.94);
+    let medium = LayeredMedium::cascadia_margin(nz as f64 * 1000.0);
+    let fault = DippingFault::megathrust(nx as f64 * 1000.0, nz as f64 * 1000.0, 6);
+    let w = nx as f64 * 1000.0;
+    ElasticSolver::new(
+        grid,
+        &medium,
+        fault,
+        &[0.2 * w, 0.4 * w, 0.6 * w, 0.8 * w],
+        &[0.7 * w],
+        0.5,
+        nt,
+        0.5,
+    )
+}
+
+fn bench_elastic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastic_solver");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+    for &(nx, nz) in &[(32usize, 16usize), (64, 32), (96, 48)] {
+        let nt = 12;
+        let sol = build(nx, nz, nt);
+        let m: Vec<f64> = (0..sol.n_params()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let w: Vec<f64> = (0..sol.n_data()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let dof = (5 * nx * nz) as u64;
+        group.throughput(Throughput::Elements(dof * (nt * sol.steps_per_bin) as u64));
+        group.bench_with_input(BenchmarkId::new("forward", nx * nz), &nx, |b, _| {
+            b.iter(|| black_box(sol.forward(black_box(&m))));
+        });
+        group.bench_with_input(BenchmarkId::new("adjoint", nx * nz), &nx, |b, _| {
+            b.iter(|| black_box(sol.adjoint_data(black_box(&w))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_elastic);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: FFT-based block-Toeplitz matvec vs the naive O(Nt²)
+//! block multiply — the §V-A ablation. Regenerates the crossover that
+//! justifies the FFT machinery (Table III's 24 ms Hessian matvec row).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tsunami_fft::{BlockToeplitz, FftBlockToeplitz};
+use tsunami_linalg::DMatrix;
+
+fn random_toeplitz(nt: usize, out_dim: usize, in_dim: usize) -> BlockToeplitz {
+    let mut s = 0x9E3779B97F4A7C15u64;
+    let blocks = (0..nt)
+        .map(|_| {
+            DMatrix::from_fn(out_dim, in_dim, |_, _| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        })
+        .collect();
+    BlockToeplitz::new(blocks, out_dim, in_dim)
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toeplitz_matvec");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+    for &nt in &[8usize, 32, 96] {
+        let (nd, nm) = (16, 160);
+        let t = random_toeplitz(nt, nd, nm);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let x: Vec<f64> = (0..t.ncols()).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut y = vec![0.0; t.nrows()];
+        group.throughput(Throughput::Elements((nd * nm * nt) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", nt), &nt, |b, _| {
+            b.iter(|| t.matvec_naive(black_box(&x), &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("fft", nt), &nt, |b, _| {
+            b.iter(|| fast.matvec(black_box(&x), &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("fft_transpose", nt), &nt, |b, _| {
+            let w: Vec<f64> = (0..t.nrows()).map(|i| (i as f64 * 0.2).cos()).collect();
+            let mut z = vec![0.0; t.ncols()];
+            b.iter(|| fast.matvec_transpose(black_box(&w), &mut z));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

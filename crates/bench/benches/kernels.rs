@@ -1,0 +1,45 @@
+//! Criterion bench: the five Fig 7 operator-kernel variants at a fixed
+//! mid-size mesh (order 4). DOF throughput is the paper's primary metric.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use tsunami_fem::kernels::{make_kernel, KernelContext, KernelVariant};
+use tsunami_mesh::{FlatBathymetry, HexMesh};
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 8;
+    let mesh = Arc::new(HexMesh::terrain_following(
+        n,
+        n,
+        n,
+        50e3,
+        50e3,
+        &FlatBathymetry { depth: 3000.0 },
+    ));
+    let ctx = Arc::new(KernelContext::new(mesh, 4));
+    let dofs = ctx.n_dofs() as u64;
+    let p = vec![1.0; ctx.n_p()];
+    let u = vec![1.0; ctx.n_u()];
+    let mut out_u = vec![0.0; ctx.n_u()];
+    let mut out_p = vec![0.0; ctx.n_p()];
+
+    let mut group = c.benchmark_group("wave_operator_kernels");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(dofs));
+    for variant in KernelVariant::ALL {
+        let kernel = make_kernel(variant, ctx.clone());
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                kernel.apply_fused(black_box(&p), black_box(&u), &mut out_u, &mut out_p);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

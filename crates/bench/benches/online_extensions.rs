@@ -1,0 +1,45 @@
+//! Criterion bench: online latency of the operational extensions —
+//! windowed (streaming) forecasts and greedy sensor selection.
+//!
+//! The windowed forecast must stay in the paper's real-time envelope
+//! (< 1 ms per update at demo scale) for *every* window length, since an
+//! early-warning system re-forecasts each time new data arrive. Greedy
+//! OED is offline, but its per-pick cost bounds how large a candidate
+//! array a design study can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tsunami_core::{greedy_design, Criterion as OedCriterion, DigitalTwin, OedCandidates, TwinConfig, WindowedForecaster};
+
+fn bench_online_extensions(c: &mut Criterion) {
+    let twin = DigitalTwin::offline(TwinConfig::tiny(), 0.03);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let windows: Vec<usize> = vec![nt / 4, nt / 2, nt];
+    let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &windows);
+    let d: Vec<f64> = (0..twin.n_data()).map(|i| (i as f64 * 0.21).sin()).collect();
+
+    let mut group = c.benchmark_group("online_extensions");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+
+    for (i, &w) in wf.windows.iter().enumerate() {
+        let dw = &d[..w * nd];
+        group.bench_with_input(BenchmarkId::new("windowed_forecast", w), &w, |b, _| {
+            b.iter(|| black_box(wf.forecast(i, black_box(dw))));
+        });
+    }
+
+    let cand = OedCandidates::build(&twin.phase1, &twin.phase2, &twin.phase3);
+    for &n_pick in &[1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("greedy_a_optimal", n_pick), &n_pick, |b, &k| {
+            b.iter(|| black_box(greedy_design(&cand, k, OedCriterion::AOptimal)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_extensions);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: Phase 4 online latency — the paper's < 0.2 s
+//! inference and < 1 ms forecast (Table III bottom rows).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsunami_core::{DigitalTwin, SyntheticEvent, TwinConfig};
+
+fn bench_online(c: &mut Criterion) {
+    let cfg = TwinConfig::tiny();
+    let solver = cfg.build_solver();
+    let rupture = SyntheticEvent::default_rupture(&cfg);
+    let ev = SyntheticEvent::generate(&cfg, &solver, &rupture, 7);
+    drop(solver);
+    let twin = DigitalTwin::offline(cfg, ev.noise_std);
+
+    let mut group = c.benchmark_group("phase4_online");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+    group.bench_function("infer_m_map", |b| {
+        b.iter(|| black_box(twin.infer(black_box(&ev.d_obs))));
+    });
+    group.bench_function("forecast_qoi", |b| {
+        b.iter(|| black_box(twin.forecast(black_box(&ev.d_obs))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

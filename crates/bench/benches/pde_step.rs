@@ -1,0 +1,35 @@
+//! Criterion bench: runtime per RK4 timestep — the paper's primary
+//! application metric (Fig 5 y-axis).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tsunami_fem::kernels::{KernelContext, KernelVariant};
+use tsunami_mesh::{CascadiaBathymetry, HexMesh};
+use tsunami_solver::rk4::{rk4_step, Rk4Workspace};
+use tsunami_solver::{PhysicalParams, WaveOperator};
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_per_timestep");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+    for &n in &[4usize, 6, 8] {
+        let bath = CascadiaBathymetry::standard(100e3, 100e3);
+        let mesh = Arc::new(HexMesh::terrain_following(n, n, 2, 100e3, 100e3, &bath));
+        let ctx = Arc::new(KernelContext::new(mesh, 4));
+        let op = WaveOperator::new(ctx, KernelVariant::FusedPa, PhysicalParams::seawater());
+        let dofs = op.n_state();
+        let mut x = vec![1e-6; dofs];
+        let mut ws = Rk4Workspace::new(dofs);
+        let dt = op.params.cfl_dt(500.0, 4, 0.3);
+        group.throughput(Throughput::Elements(dofs as u64));
+        group.bench_with_input(BenchmarkId::new("rk4_step", dofs), &n, |b, _| {
+            b.iter(|| rk4_step(&op, &mut x, None, dt, &mut ws));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

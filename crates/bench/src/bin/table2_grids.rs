@@ -1,0 +1,101 @@
+//! Table II: scalability setup — auto-tuned processor grids.
+//!
+//! The paper's runs used adaptively tuned `PX × PY × 4` grids. This harness
+//! reruns the tuner at every scale the paper lists and prints the resulting
+//! grid, elements/GPU, and load balance.
+
+use tsunami_bench::{comparison_table, Row};
+use tsunami_mesh::{Partition, RankGrid};
+
+struct Case {
+    machine: &'static str,
+    gpus: usize,
+    paper_grid: &'static str,
+    elems: (usize, usize, usize),
+    paper_elems_per_gpu: usize,
+}
+
+fn main() {
+    // Element grids chosen to match the paper's totals (Table II):
+    // El Capitan weak small: 1,693,450,240 = 640·2176·1216? Use the
+    // separable factorization consistent with 4,980,736 (=1696·1696·…) per
+    // GPU: the paper does not publish the 3D split, so we use margin-shaped
+    // grids with the same totals per GPU and let the tuner pick the shape.
+    let cases = [
+        Case {
+            machine: "El Capitan (weak, 85 nodes)",
+            gpus: 340,
+            paper_grid: "5x17x4",
+            elems: (640, 2176, 1216),
+            paper_elems_per_gpu: 4_980_736,
+        },
+        Case {
+            machine: "El Capitan (weak, 10,880 nodes)",
+            gpus: 43_520,
+            paper_grid: "80x136x4",
+            elems: (10_240, 17_408, 1216),
+            paper_elems_per_gpu: 4_980_736,
+        },
+        Case {
+            machine: "Alps (weak, 36 nodes)",
+            gpus: 144,
+            paper_grid: "2x18x4",
+            elems: (512, 4608, 240),
+            paper_elems_per_gpu: 3_932_160,
+        },
+        Case {
+            machine: "Alps (weak, 2,304 nodes)",
+            gpus: 9_216,
+            paper_grid: "16x144x4",
+            elems: (4096, 36_864, 240),
+            paper_elems_per_gpu: 3_932_160,
+        },
+        Case {
+            machine: "Perlmutter (weak, 47 nodes)",
+            gpus: 188,
+            paper_grid: "1x47x4",
+            elems: (96, 6_016, 512),
+            paper_elems_per_gpu: 1_572_864,
+        },
+        Case {
+            machine: "Perlmutter (weak, 1,504 nodes)",
+            gpus: 6_016,
+            paper_grid: "8x188x4",
+            elems: (768, 24_064, 512),
+            paper_elems_per_gpu: 1_572_864,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for c in &cases {
+        let grid = RankGrid::auto(c.gpus, c.elems.0, c.elems.1, c.elems.2, Some(4));
+        let part = Partition::new(grid, c.elems.0, c.elems.1, c.elems.2);
+        let local = part
+            .boxes
+            .iter()
+            .map(tsunami_mesh::partition::RankBox::n_elems)
+            .max()
+            .unwrap();
+        rows.push(Row {
+            label: c.machine.to_string(),
+            paper: format!("{} ({} elems/GPU)", c.paper_grid, c.paper_elems_per_gpu),
+            measured: format!(
+                "{}x{}x{} ({} elems/GPU, imbalance {:.3})",
+                grid.px,
+                grid.py,
+                grid.pz,
+                local,
+                part.imbalance()
+            ),
+        });
+    }
+    println!(
+        "{}",
+        comparison_table("Table II: auto-tuned processor grids", &rows)
+    );
+    println!(
+        "note: element grids are margin-shaped stand-ins with the paper's\n\
+         per-GPU element counts; the tuner minimizes halo surface, which is\n\
+         the published tuning objective."
+    );
+}

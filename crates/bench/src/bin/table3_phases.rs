@@ -1,0 +1,101 @@
+//! Table III: compute time for each phase of inference and prediction.
+//!
+//! Runs the full offline pipeline (Phases 1–3) and the online Phase 4 on
+//! the configured scale, and prints per-phase wall time next to the paper's
+//! Perlmutter numbers. The structural claims to reproduce: Phase 1
+//! dominates the offline cost by orders of magnitude; the online phase is
+//! sub-second and tiny relative to everything else.
+
+use tsunami_bench::{comparison_table, fmt_secs, Row};
+use tsunami_core::{DigitalTwin, SyntheticEvent};
+
+fn main() {
+    let cfg = tsunami_bench::scale_config();
+    println!(
+        "scale: {}x{}x{} elems, order {}, Nd={}, Nq={}, Nm={}, Nt={}",
+        cfg.nx,
+        cfg.ny,
+        cfg.nz,
+        cfg.order,
+        cfg.n_sensors(),
+        cfg.n_qoi,
+        cfg.n_m(),
+        cfg.nt_obs
+    );
+
+    // Synthesize the event first (uses its own solver instance).
+    let solver = cfg.build_solver();
+    let rupture = SyntheticEvent::default_rupture(&cfg);
+    let ev = SyntheticEvent::generate(&cfg, &solver, &rupture, 2025);
+    drop(solver);
+
+    let twin = DigitalTwin::offline(cfg.clone(), ev.noise_std);
+    println!("\noffline timers:\n{}", twin.timers.report());
+
+    // Online phase, repeated for a stable latency estimate.
+    let inf = twin.infer(&ev.d_obs);
+    let fc = twin.forecast(&ev.d_obs);
+    let mut infer_s = inf.seconds;
+    let mut fc_s = fc.seconds;
+    for _ in 0..4 {
+        infer_s = infer_s.min(twin.infer(&ev.d_obs).seconds);
+        fc_s = fc_s.min(twin.forecast(&ev.d_obs).seconds);
+    }
+
+    let t = &twin.timers;
+    let p1 = t.seconds("Phase 1: form F (adjoint solves)")
+        + t.seconds("Phase 1: form Fq (adjoint solves)");
+    let p2 = t.seconds("Phase 2: form G = F*Prior (prior solves)")
+        + t.seconds("Phase 2: form Gq = Fq*Prior (prior solves)")
+        + t.seconds("Phase 2: form K (FFT matvecs)")
+        + t.seconds("Phase 2: factorize K (Cholesky)");
+    let p3 = t.seconds("Phase 3: form B = Fq*Post basis")
+        + t.seconds("Phase 3: form A0 = Fq*Prior*Fq'")
+        + t.seconds("Phase 3: Gamma_post(q) and Q");
+
+    let rows = vec![
+        Row {
+            label: "Phase 1 (adjoint PDE solves)".into(),
+            paper: "~538 h on 512 A100s".into(),
+            measured: fmt_secs(p1),
+        },
+        Row {
+            label: "Phase 2 (prior, K, Cholesky)".into(),
+            paper: "~147 min".into(),
+            measured: fmt_secs(p2),
+        },
+        Row {
+            label: "Phase 3 (Gamma_post(q), Q)".into(),
+            paper: "~50 min".into(),
+            measured: fmt_secs(p3),
+        },
+        Row {
+            label: "Phase 4a infer m_map (online)".into(),
+            paper: "< 0.2 s".into(),
+            measured: fmt_secs(infer_s),
+        },
+        Row {
+            label: "Phase 4b predict QoI (online)".into(),
+            paper: "< 1 ms".into(),
+            measured: fmt_secs(fc_s),
+        },
+    ];
+    println!("{}", comparison_table("Table III: per-phase compute time", &rows));
+
+    // Structural ratios (the reproduction targets).
+    println!("shape checks:");
+    println!(
+        "  offline/online ratio : {:.1e} (paper: ~10^7; Phase 1 dominates)",
+        (p1 + p2 + p3) / infer_s.max(1e-12)
+    );
+    println!(
+        "  Phase1/Phase2 ratio  : {:.1} (paper: ~220x)",
+        p1 / p2.max(1e-12)
+    );
+    println!(
+        "  predict << infer     : {} ({} vs {})",
+        fc_s < infer_s,
+        fmt_secs(fc_s),
+        fmt_secs(infer_s)
+    );
+}

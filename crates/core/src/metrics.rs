@@ -1,0 +1,109 @@
+//! Inversion quality metrics: reconstruction errors, displacement fields,
+//! credible-interval coverage.
+
+/// Relative L2 error `‖a − b‖ / ‖b‖`.
+pub fn rel_l2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Final seafloor displacement per spatial cell: `b(x, T) = Σ_t m_t·dt`
+/// (the quantity visualized in Fig 3a/3d).
+pub fn displacement_field(m: &[f64], nm: usize, nt: usize, dt_obs: f64) -> Vec<f64> {
+    assert_eq!(m.len(), nm * nt);
+    let mut b = vec![0.0; nm];
+    for t in 0..nt {
+        for c in 0..nm {
+            b[c] += m[t * nm + c] * dt_obs;
+        }
+    }
+    b
+}
+
+/// Fraction of entries of `truth` covered by `mean ± 1.96·std`.
+pub fn ci95_coverage(mean: &[f64], std: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(mean.len(), std.len());
+    assert_eq!(mean.len(), truth.len());
+    let z = 1.959963984540054;
+    let hits = mean
+        .iter()
+        .zip(std)
+        .zip(truth)
+        .filter(|((m, s), t)| (*t - *m).abs() <= z * **s)
+        .count();
+    hits as f64 / mean.len().max(1) as f64
+}
+
+/// Pearson correlation between two fields (pattern agreement metric for
+/// Fig 3a vs 3d style comparisons).
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va * vb).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_l2_basics() {
+        assert_eq!(rel_l2(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rel_l2(&[2.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn displacement_telescopes() {
+        let m = vec![1.0, 2.0, 3.0, 4.0]; // nm=2, nt=2
+        let b = displacement_field(&m, 2, 2, 0.5);
+        assert_eq!(b, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn coverage_full_when_std_large() {
+        let mean = [0.0; 10];
+        let std = [100.0; 10];
+        let truth = [1.0; 10];
+        assert_eq!(ci95_coverage(&mean, &std, &truth), 1.0);
+    }
+
+    #[test]
+    fn coverage_zero_when_std_tiny() {
+        let mean = [0.0; 10];
+        let std = [1e-9; 10];
+        let truth = [1.0; 10];
+        assert_eq!(ci95_coverage(&mean, &std, &truth), 0.0);
+    }
+
+    #[test]
+    fn correlation_of_identical_fields_is_one() {
+        let a = [1.0, -2.0, 3.0, 0.5];
+        assert!((correlation(&a, &a) - 1.0).abs() < 1e-12);
+        let b: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert!((correlation(&a, &b) + 1.0).abs() < 1e-12);
+    }
+}

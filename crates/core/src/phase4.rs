@@ -1,0 +1,185 @@
+//! Phase 4 (online): real-time inference and forecasting.
+//!
+//! Given observations `d`, compute — with *no PDE solves and no
+//! approximations* —
+//!
+//! ```text
+//!   m_map = Γpost Fᵀ Γn⁻¹ d = Gᵀ (K⁻¹ d)   (parameter inference)
+//!   q_map = Q d                             (QoI forecast)
+//! ```
+//!
+//! plus 95% credible intervals from `√diag(Γpost(q))`. The paper's
+//! wall-clock targets: < 0.2 s for `m_map` on 512 A100s at `Nm·Nt ≈ 10⁹`,
+//! < 1 ms for `q_map` on one GPU. The `online_phase` bench measures the
+//! CPU-scaled analogues.
+
+use crate::phase1::Phase1;
+use crate::phase2::Phase2;
+use crate::phase3::Phase3;
+use std::time::Instant;
+
+/// Result of the online parameter inference.
+pub struct Inference {
+    /// Posterior mean `m_map` (space-time, time-major).
+    pub m_map: Vec<f64>,
+    /// Wall-clock seconds for the inference.
+    pub seconds: f64,
+}
+
+/// Result of the online QoI forecast.
+pub struct Forecast {
+    /// Forecast wave heights `q_map` (time-major blocks of `Nq`).
+    pub q_map: Vec<f64>,
+    /// Pointwise posterior std of each forecast entry.
+    pub q_std: Vec<f64>,
+    /// Wall-clock seconds for the forecast matvec.
+    pub seconds: f64,
+}
+
+impl Forecast {
+    /// 95% credible interval `(lo, hi)` for entry `i`.
+    pub fn ci95(&self, i: usize) -> (f64, f64) {
+        let half = 1.959963984540054 * self.q_std[i];
+        (self.q_map[i] - half, self.q_map[i] + half)
+    }
+}
+
+/// Infer the posterior mean of the seafloor velocity from observations.
+pub fn infer(p1: &Phase1, p2: &Phase2, d: &[f64]) -> Inference {
+    let t0 = Instant::now();
+    let kd = p2.k_solve(d);
+    let mut m_map = vec![0.0; p1.fast_f.ncols()];
+    p2.fast_g.matvec_transpose(&kd, &mut m_map);
+    Inference {
+        m_map,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Forecast QoI wave heights directly from observations via `Q`.
+pub fn predict(p3: &Phase3, d: &[f64]) -> Forecast {
+    let t0 = Instant::now();
+    let mut q_map = vec![0.0; p3.q_map.nrows()];
+    p3.q_map.matvec(d, &mut q_map);
+    Forecast {
+        q_map,
+        q_std: p3.q_std.clone(),
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TwinConfig;
+    use crate::stprior::SpaceTimePrior;
+    use tsunami_hpc::TimerRegistry;
+    use tsunami_linalg::{Cholesky, LinearOperator};
+
+    #[test]
+    fn online_map_matches_dense_normal_equations() {
+        // m_map from Phase 4 must equal the dense solution of
+        // (Γ⁻¹ + FᵀF/σ²) m = Fᵀ d/σ² — i.e. the SMW identity holds exactly.
+        let cfg = TwinConfig::tiny();
+        let solver = cfg.build_solver();
+        let timers = TimerRegistry::new();
+        let p1 = crate::phase1::Phase1::build(&solver, &timers);
+        let prior = cfg.build_prior();
+        let sigma = 0.05;
+        let p2 = crate::phase2::Phase2::build(&p1, &prior, sigma, &timers);
+
+        let d: Vec<f64> = (0..p1.fast_f.nrows()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let inf = infer(&p1, &p2, &d);
+
+        // Dense reference via SMW in the same form: m = ΓFᵀ K⁻¹ d.
+        let stp = SpaceTimePrior::new(cfg.build_prior(), solver.grid.nt_obs);
+        let f = p1.f.to_dense();
+        let gamma = stp.to_dense();
+        let fg = f.matmul(&gamma);
+        let mut k = fg.matmul_nt(&f);
+        k.shift_diag(sigma * sigma);
+        k.symmetrize();
+        let kch = Cholesky::factor(&k).unwrap();
+        let kd = kch.solve(&d);
+        let mut m_ref = vec![0.0; gamma.nrows()];
+        fg.matvec_t(&kd, &mut m_ref);
+
+        let num: f64 = inf
+            .m_map
+            .iter()
+            .zip(&m_ref)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = m_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(num < 1e-8 * den.max(1e-12), "m_map mismatch: {num} vs {den}");
+
+        // Cross-check against the *primal* normal equations too:
+        // (Γ⁻¹ + FᵀF/σ²) m_map ≈ Fᵀ d/σ².
+        let mut rhs = vec![0.0; gamma.nrows()];
+        f.matvec_t(&d, &mut rhs);
+        for v in rhs.iter_mut() {
+            *v /= sigma * sigma;
+        }
+        let mut fm = vec![0.0; f.nrows()];
+        f.matvec(&inf.m_map, &mut fm);
+        let mut ftfm = vec![0.0; gamma.nrows()];
+        f.matvec_t(&fm, &mut ftfm);
+        let mut ginv_m = vec![0.0; gamma.nrows()];
+        stp.apply_inv(&inf.m_map, &mut ginv_m);
+        let resid: f64 = (0..gamma.nrows())
+            .map(|i| {
+                let lhs = ginv_m[i] + ftfm[i] / (sigma * sigma);
+                (lhs - rhs[i]) * (lhs - rhs[i])
+            })
+            .sum::<f64>()
+            .sqrt();
+        let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(
+            resid < 1e-6 * rhs_norm,
+            "normal-equation residual {resid} vs {rhs_norm}"
+        );
+    }
+
+    #[test]
+    fn forecast_equals_qoi_of_inferred_parameters() {
+        // q_map = Q d must equal Fq m_map — the paper's consistency between
+        // "forecast via Q" and "reconstruct then propagate".
+        let cfg = TwinConfig::tiny();
+        let solver = cfg.build_solver();
+        let timers = TimerRegistry::new();
+        let p1 = crate::phase1::Phase1::build(&solver, &timers);
+        let prior = cfg.build_prior();
+        let p2 = crate::phase2::Phase2::build(&p1, &prior, 0.03, &timers);
+        let p3 = crate::phase3::Phase3::build(&p1, &p2, &timers);
+
+        let d: Vec<f64> = (0..p1.fast_f.nrows()).map(|i| (i as f64 * 0.23).cos()).collect();
+        let inf = infer(&p1, &p2, &d);
+        let fc = predict(&p3, &d);
+        let mut q_from_m = vec![0.0; p1.fast_fq.nrows()];
+        p1.fast_fq.matvec(&inf.m_map, &mut q_from_m);
+        for (a, b) in fc.q_map.iter().zip(&q_from_m) {
+            assert!(
+                (a - b).abs() < 1e-7 * b.abs().max(1e-10),
+                "Qd vs Fq m_map: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ci_contains_mean() {
+        let cfg = TwinConfig::tiny();
+        let solver = cfg.build_solver();
+        let timers = TimerRegistry::new();
+        let p1 = crate::phase1::Phase1::build(&solver, &timers);
+        let prior = cfg.build_prior();
+        let p2 = crate::phase2::Phase2::build(&p1, &prior, 0.03, &timers);
+        let p3 = crate::phase3::Phase3::build(&p1, &p2, &timers);
+        let d = vec![0.01; p1.fast_f.nrows()];
+        let fc = predict(&p3, &d);
+        for i in 0..fc.q_map.len() {
+            let (lo, hi) = fc.ci95(i);
+            assert!(lo <= fc.q_map[i] && fc.q_map[i] <= hi);
+        }
+    }
+}

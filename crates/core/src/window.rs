@@ -1,0 +1,277 @@
+//! Streaming early warning: assimilation of a *growing* observation window.
+//!
+//! In operation, data arrive continuously: seconds after rupture onset only
+//! a short pressure record exists, yet a warning decision cannot wait for
+//! the full 420 s horizon. Because the data vector is ordered time-major,
+//! the data-space Hessian of the problem restricted to the first `k`
+//! observation times is exactly the leading `k·Nd × k·Nd` principal block
+//! of the full `K` — and the leading principal block of a Cholesky factor
+//! is the factor of the leading principal block. One offline factorization
+//! therefore serves *every* window length, preserving the paper's
+//! fraction-of-a-second online guarantee for each update as data stream in.
+//!
+//! For each window the posterior is exact (no approximation): it is the
+//! Bayesian solution given the data observed so far, with the unobserved
+//! future contributing nothing. Forecast uncertainty shrinks monotonically
+//! as the window grows — the basis of the latency-vs-confidence trade
+//! curve that an early-warning operator acts on.
+
+use crate::phase1::Phase1;
+use crate::phase2::Phase2;
+use crate::phase3::Phase3;
+use crate::phase4::{Forecast, Inference};
+use rayon::prelude::*;
+use std::time::Instant;
+use tsunami_linalg::DMatrix;
+
+/// Precomputed window-restricted forecast operators for a ladder of
+/// observation windows (offline Phase 3 extension).
+pub struct WindowedForecaster {
+    /// Window lengths in observation steps, strictly increasing.
+    pub windows: Vec<usize>,
+    /// Per-window data-to-QoI maps `Q_w = B_w K_w⁻¹` (`Nq·Nt × k·Nd`).
+    pub q_maps: Vec<DMatrix>,
+    /// Per-window forecast standard deviations `√diag(Γpost(q; w))`.
+    pub q_stds: Vec<Vec<f64>>,
+    /// Number of sensors `Nd` (data entries per observation step).
+    pub nd: usize,
+}
+
+impl WindowedForecaster {
+    /// Precompute forecast operators for the given window lengths (in
+    /// observation steps). Windows are clamped to the full horizon and
+    /// must be positive.
+    pub fn build(p1: &Phase1, p2: &Phase2, p3: &Phase3, windows: &[usize]) -> Self {
+        let nd = p1.f.out_dim;
+        let nt = p1.f.nt;
+        let n_data = nd * nt;
+        let mut ws: Vec<usize> = windows
+            .iter()
+            .map(|&w| {
+                assert!(w > 0, "window length must be positive");
+                w.min(nt)
+            })
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+
+        let per_window: Vec<(DMatrix, Vec<f64>)> = ws
+            .par_iter()
+            .map(|&w| {
+                let k = w * nd;
+                // X = K_w⁻¹ B_wᵀ, column by column via the leading-block solve.
+                let nq = p3.b.nrows();
+                let mut x = DMatrix::zeros(k, nq);
+                for r in 0..nq {
+                    let mut col: Vec<f64> = (0..k).map(|c| p3.b[(r, c)]).collect();
+                    p2.k_chol.solve_leading_in_place(k, &mut col);
+                    for i in 0..k {
+                        x[(i, r)] = col[i];
+                    }
+                }
+                // Γpost(q; w) = A0 − B_w X; Q_w = Xᵀ.
+                let mut bw = DMatrix::zeros(nq, k);
+                for r in 0..nq {
+                    for c in 0..k {
+                        bw[(r, c)] = p3.b[(r, c)];
+                    }
+                }
+                let mut gpq = p3.a0.clone();
+                let bx = bw.matmul(&x);
+                gpq.add_scaled(-1.0, &bx);
+                gpq.symmetrize();
+                let std: Vec<f64> = gpq.diag().iter().map(|&v| v.max(0.0).sqrt()).collect();
+                (x.transpose(), std)
+            })
+            .collect();
+        let _ = n_data;
+        let (q_maps, q_stds) = per_window.into_iter().unzip();
+        WindowedForecaster {
+            windows: ws,
+            q_maps,
+            q_stds,
+            nd,
+        }
+    }
+
+    /// Forecast from the first `windows[i]` observation steps of data.
+    /// `d_window` must hold exactly `windows[i]·Nd` entries (the data seen
+    /// so far, time-major).
+    pub fn forecast(&self, i: usize, d_window: &[f64]) -> Forecast {
+        let t0 = Instant::now();
+        let k = self.windows[i] * self.nd;
+        assert_eq!(d_window.len(), k, "window {i} expects {k} data entries");
+        let q = &self.q_maps[i];
+        let mut q_map = vec![0.0; q.nrows()];
+        q.matvec(d_window, &mut q_map);
+        Forecast {
+            q_map,
+            q_std: self.q_stds[i].clone(),
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Index of the widest precomputed window not exceeding `steps`.
+    /// Returns `None` if even the narrowest window needs more data.
+    pub fn window_for(&self, steps: usize) -> Option<usize> {
+        self.windows.iter().rposition(|&w| w <= steps)
+    }
+}
+
+/// Online inference from a truncated observation window: the exact
+/// posterior mean given only the first `k_steps` observation times,
+/// `m_map(w) = Gᵀ [K_w⁻¹ d_w ; 0]`.
+pub fn infer_window(p1: &Phase1, p2: &Phase2, d_window: &[f64], k_steps: usize) -> Inference {
+    let t0 = Instant::now();
+    let nd = p1.f.out_dim;
+    let k = k_steps * nd;
+    assert!(k_steps <= p1.f.nt, "window exceeds the time horizon");
+    assert_eq!(d_window.len(), k, "expected {k} data entries");
+    let mut kd = d_window.to_vec();
+    p2.k_chol.solve_leading_in_place(k, &mut kd);
+    // Zero-pad to the full horizon: unobserved rows contribute nothing.
+    let mut padded = vec![0.0; p1.fast_f.nrows()];
+    padded[..k].copy_from_slice(&kd);
+    let mut m_map = vec![0.0; p1.fast_f.ncols()];
+    p2.fast_g.matvec_transpose(&padded, &mut m_map);
+    Inference {
+        m_map,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TwinConfig;
+    use crate::event::SyntheticEvent;
+    use crate::metrics::rel_l2;
+    use crate::stprior::SpaceTimePrior;
+    use crate::twin::DigitalTwin;
+    
+    use tsunami_linalg::{Cholesky, LinearOperator};
+
+    fn setup() -> DigitalTwin {
+        DigitalTwin::offline(TwinConfig::tiny(), 0.03)
+    }
+
+    #[test]
+    fn full_window_matches_phase4_exactly() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let d: Vec<f64> = (0..twin.n_data()).map(|i| (i as f64 * 0.21).sin()).collect();
+
+        let inf_full = twin.infer(&d);
+        let inf_win = infer_window(&twin.phase1, &twin.phase2, &d, nt);
+        for (a, b) in inf_win.m_map.iter().zip(&inf_full.m_map) {
+            assert!((a - b).abs() < 1e-12 * b.abs().max(1e-12));
+        }
+
+        let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &[nt]);
+        let fc_full = twin.forecast(&d);
+        let fc_win = wf.forecast(0, &d);
+        for (a, b) in fc_win.q_map.iter().zip(&fc_full.q_map) {
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1e-12));
+        }
+        for (a, b) in fc_win.q_std.iter().zip(&fc_full.q_std) {
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn window_matches_dense_truncated_reference() {
+        // m_map(w) must equal the dense Bayesian solution that only ever
+        // saw the truncated data: Γ F_wᵀ (σ²I + F_w Γ F_wᵀ)⁻¹ d_w.
+        let twin = setup();
+        let nd = twin.solver.sensors.len();
+        let nt = twin.solver.grid.nt_obs;
+        let w_steps = nt / 2;
+        let k = w_steps * nd;
+        let d: Vec<f64> = (0..k).map(|i| (i as f64 * 0.37).cos()).collect();
+
+        let inf = infer_window(&twin.phase1, &twin.phase2, &d, w_steps);
+
+        let stp = SpaceTimePrior::new(twin.config.build_prior(), nt);
+        let f_dense = twin.phase1.f.to_dense();
+        let gamma = stp.to_dense();
+        let fw = DMatrix::from_fn(k, f_dense.ncols(), |i, j| f_dense[(i, j)]);
+        let fg = fw.matmul(&gamma);
+        let mut kw = fg.matmul_nt(&fw);
+        kw.shift_diag(twin.noise_std * twin.noise_std);
+        kw.symmetrize();
+        let ch = Cholesky::factor(&kw).unwrap();
+        let kd = ch.solve(&d);
+        let mut m_ref = vec![0.0; gamma.nrows()];
+        fg.matvec_t(&kd, &mut m_ref);
+
+        let err = rel_l2(&inf.m_map, &m_ref);
+        assert!(err < 1e-8, "windowed inference mismatch: {err}");
+    }
+
+    #[test]
+    fn uncertainty_shrinks_as_window_grows() {
+        // Nested observation windows: posterior std is monotone
+        // non-increasing in the window length, entry by entry.
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let windows: Vec<usize> = (1..=nt).collect();
+        let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &windows);
+        for i in 1..wf.windows.len() {
+            for (s_wide, s_narrow) in wf.q_stds[i].iter().zip(&wf.q_stds[i - 1]) {
+                assert!(
+                    *s_wide <= s_narrow + 1e-9 * s_narrow.abs().max(1e-12),
+                    "window {} should not be more uncertain than window {}",
+                    wf.windows[i],
+                    wf.windows[i - 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_skill_improves_with_data() {
+        // On a synthetic rupture, the full-window forecast must beat the
+        // narrowest window.
+        let cfg = TwinConfig::tiny();
+        let solver = cfg.build_solver();
+        let rupture = SyntheticEvent::default_rupture(&cfg);
+        let ev = SyntheticEvent::generate(&cfg, &solver, &rupture, 77);
+        let twin = DigitalTwin::offline(cfg, ev.noise_std);
+        let nt = twin.solver.grid.nt_obs;
+        let nd = twin.solver.sensors.len();
+        let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &[1, nt]);
+
+        let fc_narrow = wf.forecast(0, &ev.d_obs[..nd]);
+        let fc_full = wf.forecast(1, &ev.d_obs);
+        let e_narrow = rel_l2(&fc_narrow.q_map, &ev.q_true);
+        let e_full = rel_l2(&fc_full.q_map, &ev.q_true);
+        assert!(
+            e_full < e_narrow,
+            "more data should improve the forecast: {e_full} vs {e_narrow}"
+        );
+    }
+
+    #[test]
+    fn window_for_selects_widest_feasible() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let wf =
+            WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &[2, 1, nt, 2]);
+        // Sorted + deduped.
+        assert_eq!(wf.windows, vec![1, 2, nt]);
+        assert_eq!(wf.window_for(0), None);
+        assert_eq!(wf.window_for(1), Some(0));
+        assert_eq!(wf.window_for(2), Some(1));
+        assert_eq!(wf.window_for(nt + 5), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds the time horizon")]
+    fn overlong_window_rejected() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let nd = twin.solver.sensors.len();
+        let d = vec![0.0; (nt + 1) * nd];
+        let _ = infer_window(&twin.phase1, &twin.phase2, &d, nt + 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Staggered finite-difference grid for the plane-strain (P-SV) system.
+//!
+//! A vertical cross-section of the subduction margin: `x` is horizontal
+//! distance (trench → coast), `z` is depth (positive down, surface at
+//! `z = 0`). All five fields (`vx`, `vz`, `σxx`, `σzz`, `σxz`) are stored
+//! as `nx × nz` row-major arrays with Virieux-style staggering implicit in
+//! the one-sided differences of the update kernels; neighbors outside the
+//! grid read as zero, and a Cerjan sponge absorbs outgoing energy at the
+//! lateral and bottom boundaries (the free surface at `z = 0` is kept
+//! reflection-free of damping).
+
+/// Geometry and absorbing-layer profile of the elastic grid.
+#[derive(Clone, Debug)]
+pub struct ElasticGrid {
+    /// Cells in x.
+    pub nx: usize,
+    /// Cells in z (depth).
+    pub nz: usize,
+    /// Cell size in x (m).
+    pub hx: f64,
+    /// Cell size in z (m).
+    pub hz: f64,
+    /// Per-cell Cerjan damping factor in `(0, 1]` (1 = interior).
+    pub sponge: Vec<f64>,
+}
+
+impl ElasticGrid {
+    /// Build a grid with a sponge of `n_sponge` cells on the left, right,
+    /// and bottom edges, with peak damping strength `alpha` (a good default
+    /// is 0.92–0.98; smaller damps harder).
+    pub fn new(nx: usize, nz: usize, hx: f64, hz: f64, n_sponge: usize, alpha: f64) -> Self {
+        assert!(nx > 2 * n_sponge && nz > n_sponge, "sponge swallows the grid");
+        assert!(alpha > 0.0 && alpha <= 1.0, "damping factor must be in (0, 1]");
+        let mut sponge = vec![1.0; nx * nz];
+        for j in 0..nz {
+            for i in 0..nx {
+                // Distance (in cells) into each damped edge; the free
+                // surface (j = 0 side) is never damped.
+                let dl = i;
+                let dr = nx - 1 - i;
+                let db = nz - 1 - j;
+                let d = dl.min(dr).min(db);
+                if d < n_sponge {
+                    let s = (n_sponge - d) as f64 / n_sponge as f64;
+                    // Classic Cerjan taper: exp(−(c·s)²) with c tuned so the
+                    // innermost sponge cell damps gently.
+                    let c = -(alpha.ln());
+                    sponge[j * nx + i] = (-(c * s) * (c * s)).exp();
+                }
+            }
+        }
+        ElasticGrid {
+            nx,
+            nz,
+            hx,
+            hz,
+            sponge,
+        }
+    }
+
+    /// Number of cells.
+    pub fn n(&self) -> usize {
+        self.nx * self.nz
+    }
+
+    /// Row-major cell index.
+    #[inline(always)]
+    pub fn id(&self, i: usize, j: usize) -> usize {
+        j * self.nx + i
+    }
+
+    /// The CFL-stable timestep for the fastest speed `vp_max` with safety
+    /// factor `cfl` (2D leapfrog limit `dt ≤ h / (vp √2)`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tsunami_elastic::ElasticGrid;
+    /// let g = ElasticGrid::new(40, 20, 500.0, 500.0, 5, 0.95);
+    /// let dt = g.stable_dt(8000.0, 0.5);
+    /// // Halving the wave speed doubles the stable step.
+    /// assert!((g.stable_dt(4000.0, 0.5) - 2.0 * dt).abs() < 1e-15);
+    /// ```
+    pub fn stable_dt(&self, vp_max: f64, cfl: f64) -> f64 {
+        let h = self.hx.min(self.hz);
+        cfl * h / (vp_max * std::f64::consts::SQRT_2)
+    }
+
+    /// Cell index of the surface cell nearest horizontal position `x`.
+    pub fn surface_cell(&self, x: f64) -> usize {
+        let i = ((x / self.hx).floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        self.id(i, 0)
+    }
+
+    /// Cell index nearest the point `(x, z)`.
+    pub fn cell_at(&self, x: f64, z: f64) -> usize {
+        let i = ((x / self.hx).floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        let j = ((z / self.hz).floor() as isize).clamp(0, self.nz as isize - 1) as usize;
+        self.id(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sponge_is_one_in_the_interior() {
+        let g = ElasticGrid::new(40, 20, 500.0, 500.0, 6, 0.95);
+        // A cell far from every damped edge.
+        assert_eq!(g.sponge[g.id(20, 2)], 1.0);
+        // Surface row interior is undamped even at j = 0.
+        assert_eq!(g.sponge[g.id(20, 0)], 1.0);
+    }
+
+    #[test]
+    fn sponge_decays_toward_edges() {
+        let g = ElasticGrid::new(40, 20, 500.0, 500.0, 6, 0.95);
+        let j = 3;
+        // Moving left from the interior into the left sponge: monotone decay.
+        let mut prev = g.sponge[g.id(6, j)];
+        for i in (0..6).rev() {
+            let s = g.sponge[g.id(i, j)];
+            assert!(s < prev, "sponge must decay toward the edge");
+            assert!(s > 0.0 && s < 1.0);
+            prev = s;
+        }
+        // Bottom edge likewise.
+        assert!(g.sponge[g.id(20, 19)] < g.sponge[g.id(20, 12)]);
+    }
+
+    #[test]
+    fn stable_dt_scales_with_h_and_speed() {
+        let g = ElasticGrid::new(30, 15, 400.0, 200.0, 4, 0.95);
+        let dt = g.stable_dt(8000.0, 0.5);
+        assert!((dt - 0.5 * 200.0 / (8000.0 * std::f64::consts::SQRT_2)).abs() < 1e-15);
+        assert!(g.stable_dt(4000.0, 0.5) > dt, "slower medium allows larger steps");
+    }
+
+    #[test]
+    fn cell_lookup_clamps_to_grid() {
+        let g = ElasticGrid::new(30, 15, 400.0, 200.0, 4, 0.95);
+        assert_eq!(g.surface_cell(-100.0), 0);
+        assert_eq!(g.surface_cell(1e9), 29);
+        assert_eq!(g.cell_at(450.0, 250.0), g.id(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sponge swallows")]
+    fn oversized_sponge_rejected() {
+        let _ = ElasticGrid::new(10, 5, 100.0, 100.0, 5, 0.95);
+    }
+}

@@ -1,0 +1,55 @@
+//! Acoustic–elastic extension of the tsunami digital twin (§VIII):
+//! real-time fault-slip inversion and shake maps for ground-motion early
+//! warning.
+//!
+//! The paper closes by noting that "expanding to fully-coupled
+//! acoustic–elastic simulations allows us to employ our framework to
+//! invert for fault slip, and forward propagate seismic waves to
+//! compute — in real time — maps of the intensity of ground motion in
+//! populated regions." This crate realizes that extension on a 2D
+//! plane-strain (P-SV) cross-section of the Cascadia margin:
+//!
+//! - [`medium`]: layered elastic media (sediments / crust / basement).
+//! - [`grid`]: staggered FD grid with a Cerjan absorbing sponge and a
+//!   free surface.
+//! - [`fault`]: a dipping megathrust discretized into patches whose slip
+//!   rates are the inversion parameters, injected as equivalent
+//!   moment-rate sources.
+//! - [`solver`]: the velocity–stress leapfrog solver and its **exact
+//!   discrete adjoint** (transposed recurrence), which makes the forward
+//!   map a block lower-triangular Toeplitz matrix recoverable from one
+//!   adjoint solve per station.
+//! - [`twin`]: the [`ShakeTwin`] — the generic `LtiBayesEngine` of
+//!   `tsunami-core` instantiated on the elastic physics. Phases 2–4 are
+//!   *shared code* with the tsunami twin; only Phase 1's adjoint solves
+//!   differ.
+//! - [`shakemap`]: PGV intensity maps with uncertainty bands propagated
+//!   from the exact Gaussian QoI posterior by sampling (PGV is a max over
+//!   time, hence nonlinear — linearization would be wrong).
+//! - [`scenario`]: kinematic rupture scenarios and synthetic seismograms
+//!   for end-to-end validation.
+//! - [`coupling`]: one-way acoustic–elastic coupling — the elastic
+//!   section's surface velocity extruded (2.5D) into the acoustic twin's
+//!   seafloor-velocity source, closing the fault-to-forecast chain.
+
+// Numeric kernels use index loops that mirror the tensor/math indices
+// of the discretizations; enumerate()-style rewrites obscure the formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coupling;
+pub mod fault;
+pub mod grid;
+pub mod medium;
+pub mod scenario;
+pub mod shakemap;
+pub mod solver;
+pub mod twin;
+
+pub use coupling::SeafloorCoupling;
+pub use fault::DippingFault;
+pub use grid::ElasticGrid;
+pub use medium::{Layer, LayeredMedium, MaterialFields};
+pub use scenario::{synthesize, ElasticEvent, SlipScenario};
+pub use shakemap::{pgv, shake_map, ShakeMap};
+pub use solver::ElasticSolver;
+pub use twin::ShakeTwin;

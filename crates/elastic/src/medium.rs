@@ -1,0 +1,187 @@
+//! Layered elastic media: density and Lamé parameter fields.
+//!
+//! The paper's §VIII extension targets "fully-coupled acoustic–elastic
+//! simulations … to invert for fault slip, and forward propagate seismic
+//! waves". The solid Earth below the Cascadia margin is modeled here as a
+//! depth-layered elastic half-space — crustal layers over a mantle layer —
+//! which captures the leading-order wave kinematics (P/S speeds, impedance
+//! contrasts, surface amplification) that drive shake-map structure.
+
+/// One horizontal layer of the velocity model.
+#[derive(Clone, Copy, Debug)]
+pub struct Layer {
+    /// Bottom depth of the layer in meters (layers stack from the surface
+    /// down; the last layer extends to the bottom of the grid).
+    pub bottom: f64,
+    /// P-wave speed (m/s).
+    pub vp: f64,
+    /// S-wave speed (m/s).
+    pub vs: f64,
+    /// Density (kg/m³).
+    pub rho: f64,
+}
+
+/// A depth-layered elastic medium.
+#[derive(Clone, Debug)]
+pub struct LayeredMedium {
+    /// Layers ordered from the surface down.
+    pub layers: Vec<Layer>,
+}
+
+impl LayeredMedium {
+    /// A uniform half-space.
+    pub fn uniform(vp: f64, vs: f64, rho: f64) -> Self {
+        LayeredMedium {
+            layers: vec![Layer {
+                bottom: f64::INFINITY,
+                vp,
+                vs,
+                rho,
+            }],
+        }
+    }
+
+    /// A three-layer continental-margin-like model: sediments over upper
+    /// crust over mantle-ish basement, scaled so that waves cross a
+    /// `depth_extent`-deep grid in a few seconds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tsunami_elastic::LayeredMedium;
+    /// let m = LayeredMedium::cascadia_margin(30_000.0);
+    /// // Speeds increase with depth; the deepest layer sets the CFL.
+    /// assert!(m.at(1_000.0).vp < m.at(20_000.0).vp);
+    /// assert_eq!(m.vp_max(), m.at(29_000.0).vp);
+    /// ```
+    pub fn cascadia_margin(depth_extent: f64) -> Self {
+        LayeredMedium {
+            layers: vec![
+                Layer {
+                    bottom: 0.12 * depth_extent,
+                    vp: 2500.0,
+                    vs: 1200.0,
+                    rho: 2200.0,
+                },
+                Layer {
+                    bottom: 0.55 * depth_extent,
+                    vp: 5800.0,
+                    vs: 3300.0,
+                    rho: 2700.0,
+                },
+                Layer {
+                    bottom: f64::INFINITY,
+                    vp: 7800.0,
+                    vs: 4400.0,
+                    rho: 3300.0,
+                },
+            ],
+        }
+    }
+
+    /// Properties at a given depth (m).
+    pub fn at(&self, depth: f64) -> Layer {
+        for l in &self.layers {
+            if depth <= l.bottom {
+                return *l;
+            }
+        }
+        *self.layers.last().expect("medium must have at least one layer")
+    }
+
+    /// Fastest P speed anywhere — the CFL-relevant speed.
+    pub fn vp_max(&self) -> f64 {
+        self.layers.iter().map(|l| l.vp).fold(0.0, f64::max)
+    }
+
+    /// Materialize per-cell `(ρ, λ, μ)` fields on an `nx × nz` grid of
+    /// cell height `hz` (row `j` is centered at depth `(j + ½)·hz`).
+    pub fn materialize(&self, nx: usize, nz: usize, hz: f64) -> MaterialFields {
+        let n = nx * nz;
+        let mut rho = vec![0.0; n];
+        let mut lam = vec![0.0; n];
+        let mut mu = vec![0.0; n];
+        for j in 0..nz {
+            let depth = (j as f64 + 0.5) * hz;
+            let l = self.at(depth);
+            let m = l.rho * l.vs * l.vs;
+            let la = l.rho * l.vp * l.vp - 2.0 * m;
+            for i in 0..nx {
+                let c = j * nx + i;
+                rho[c] = l.rho;
+                lam[c] = la;
+                mu[c] = m;
+            }
+        }
+        MaterialFields { rho, lam, mu }
+    }
+}
+
+/// Per-cell material fields `(ρ, λ, μ)` in row-major (depth-major) order.
+pub struct MaterialFields {
+    /// Density per cell.
+    pub rho: Vec<f64>,
+    /// First Lamé parameter `λ = ρ(vp² − 2vs²)` per cell.
+    pub lam: Vec<f64>,
+    /// Shear modulus `μ = ρ vs²` per cell.
+    pub mu: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_medium_is_depth_independent() {
+        let m = LayeredMedium::uniform(6000.0, 3500.0, 2700.0);
+        for d in [0.0, 1e3, 1e5] {
+            let l = m.at(d);
+            assert_eq!(l.vp, 6000.0);
+            assert_eq!(l.vs, 3500.0);
+        }
+        assert_eq!(m.vp_max(), 6000.0);
+    }
+
+    #[test]
+    fn layer_lookup_respects_boundaries() {
+        let m = LayeredMedium::cascadia_margin(40_000.0);
+        let shallow = m.at(1_000.0);
+        let mid = m.at(10_000.0);
+        let deep = m.at(39_000.0);
+        assert!(shallow.vp < mid.vp && mid.vp < deep.vp, "speeds must increase downward");
+        assert_eq!(m.vp_max(), deep.vp);
+    }
+
+    #[test]
+    fn lame_parameters_reproduce_wave_speeds() {
+        let m = LayeredMedium::uniform(6200.0, 3400.0, 2800.0);
+        let f = m.materialize(4, 3, 100.0);
+        for c in 0..12 {
+            let vp = ((f.lam[c] + 2.0 * f.mu[c]) / f.rho[c]).sqrt();
+            let vs = (f.mu[c] / f.rho[c]).sqrt();
+            assert!((vp - 6200.0).abs() < 1e-9);
+            assert!((vs - 3400.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn materialized_rows_follow_layering() {
+        let m = LayeredMedium::cascadia_margin(30_000.0);
+        let nz = 30;
+        let hz = 1000.0;
+        let f = m.materialize(2, nz, hz);
+        // Density must be non-decreasing with depth for this model.
+        for j in 1..nz {
+            assert!(f.rho[j * 2] >= f.rho[(j - 1) * 2]);
+        }
+    }
+
+    #[test]
+    fn positive_moduli_everywhere() {
+        let m = LayeredMedium::cascadia_margin(50_000.0);
+        let f = m.materialize(8, 25, 2000.0);
+        for c in 0..f.rho.len() {
+            assert!(f.rho[c] > 0.0 && f.mu[c] > 0.0 && f.lam[c] > 0.0);
+        }
+    }
+}

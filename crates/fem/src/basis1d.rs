@@ -1,0 +1,157 @@
+//! 1D Lagrange bases and their evaluation matrices.
+//!
+//! Tensor-product (sum-factorized) operator application needs only two small
+//! dense matrices per direction: values `B[q][i] = ℓ_i(x_q)` and derivatives
+//! `D[q][i] = ℓ_i'(x_q)` of the nodal basis at the quadrature points. This is
+//! MFEM's operator-decomposition idea (§VI-B) in its 1D essence.
+
+/// A nodal Lagrange basis on given 1D nodes, with evaluation tables at a
+/// given set of quadrature points.
+#[derive(Clone, Debug)]
+pub struct Basis1d {
+    /// Basis nodes (length `n_nodes`).
+    pub nodes: Vec<f64>,
+    /// Evaluation points (length `n_quad`).
+    pub quad_pts: Vec<f64>,
+    /// `b[q * n_nodes + i] = ℓ_i(quad_pts[q])`.
+    pub b: Vec<f64>,
+    /// `d[q * n_nodes + i] = ℓ_i'(quad_pts[q])`.
+    pub d: Vec<f64>,
+}
+
+impl Basis1d {
+    /// Tabulate the Lagrange basis on `nodes` at `quad_pts`.
+    pub fn tabulate(nodes: &[f64], quad_pts: &[f64]) -> Self {
+        let n = nodes.len();
+        let w = barycentric_weights(nodes);
+        let mut b = vec![0.0; quad_pts.len() * n];
+        let mut d = vec![0.0; quad_pts.len() * n];
+        for (q, &x) in quad_pts.iter().enumerate() {
+            let (vals, ders) = eval_lagrange_all(nodes, &w, x);
+            b[q * n..(q + 1) * n].copy_from_slice(&vals);
+            d[q * n..(q + 1) * n].copy_from_slice(&ders);
+        }
+        Basis1d {
+            nodes: nodes.to_vec(),
+            quad_pts: quad_pts.to_vec(),
+            b,
+            d,
+        }
+    }
+
+    /// Number of basis functions.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of evaluation points.
+    pub fn n_quad(&self) -> usize {
+        self.quad_pts.len()
+    }
+}
+
+/// Barycentric weights of a node set.
+pub fn barycentric_weights(nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    let mut w = vec![1.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                w[i] /= nodes[i] - nodes[j];
+            }
+        }
+    }
+    w
+}
+
+/// Evaluate all Lagrange basis functions and derivatives at `x`.
+///
+/// Uses the product-form (not the barycentric quotient) near nodes to avoid
+/// 0/0; `x` exactly at a node is handled explicitly.
+pub fn eval_lagrange_all(nodes: &[f64], w: &[f64], x: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = nodes.len();
+    let mut vals = vec![0.0; n];
+    let mut ders = vec![0.0; n];
+    // Exact node hit?
+    if let Some(hit) = nodes.iter().position(|&xi| (x - xi).abs() < 1e-14) {
+        vals[hit] = 1.0;
+        // ℓ_i'(x_hit): standard differentiation-matrix entries.
+        for i in 0..n {
+            if i != hit {
+                ders[i] = (w[i] / w[hit]) / (nodes[hit] - nodes[i]);
+            }
+        }
+        ders[hit] = -(0..n).filter(|&i| i != hit).map(|i| ders[i]).sum::<f64>();
+        return (vals, ders);
+    }
+    // General x: ℓ_i(x) = L(x) w_i / (x − x_i), L(x) = Π (x − x_j).
+    let l: f64 = nodes.iter().map(|&xj| x - xj).product();
+    // L'(x) = L(x) Σ 1/(x − x_j).
+    let s: f64 = nodes.iter().map(|&xj| 1.0 / (x - xj)).sum();
+    let dl = l * s;
+    for i in 0..n {
+        let denom = x - nodes[i];
+        vals[i] = l * w[i] / denom;
+        ders[i] = (dl * w[i] - vals[i]) / denom;
+    }
+    (vals, ders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::{gauss_legendre, gauss_lobatto};
+
+    #[test]
+    fn partition_of_unity() {
+        let (nodes, _) = gauss_lobatto(5);
+        let (q, _) = gauss_legendre(4);
+        let basis = Basis1d::tabulate(&nodes, &q);
+        for qi in 0..basis.n_quad() {
+            let s: f64 = (0..basis.n_nodes()).map(|i| basis.b[qi * 5 + i]).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            let ds: f64 = (0..basis.n_nodes()).map(|i| basis.d[qi * 5 + i]).sum();
+            assert!(ds.abs() < 1e-11, "derivative sum {ds}");
+        }
+    }
+
+    #[test]
+    fn kronecker_at_nodes() {
+        let (nodes, _) = gauss_lobatto(4);
+        let basis = Basis1d::tabulate(&nodes, &nodes);
+        for q in 0..4 {
+            for i in 0..4 {
+                let expect = if q == i { 1.0 } else { 0.0 };
+                assert!((basis.b[q * 4 + i] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_polynomials_exactly() {
+        // Degree-3 basis must interpolate x³ exactly, including derivative.
+        let (nodes, _) = gauss_lobatto(4);
+        let (q, _) = gauss_legendre(6);
+        let basis = Basis1d::tabulate(&nodes, &q);
+        let coeffs: Vec<f64> = nodes.iter().map(|&x| x.powi(3) - 2.0 * x).collect();
+        for (qi, &xq) in q.iter().enumerate() {
+            let val: f64 = (0..4).map(|i| basis.b[qi * 4 + i] * coeffs[i]).sum();
+            let der: f64 = (0..4).map(|i| basis.d[qi * 4 + i] * coeffs[i]).sum();
+            assert!((val - (xq.powi(3) - 2.0 * xq)).abs() < 1e-12);
+            assert!((der - (3.0 * xq * xq - 2.0)).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_row_at_node() {
+        // ℓ_i' at the node set forms the spectral differentiation matrix;
+        // check it differentiates x² exactly on GLL(5).
+        let (nodes, _) = gauss_lobatto(5);
+        let basis = Basis1d::tabulate(&nodes, &nodes);
+        let coeffs: Vec<f64> = nodes.iter().map(|&x| x * x).collect();
+        for (q, &xq) in nodes.iter().enumerate() {
+            let der: f64 = (0..5).map(|i| basis.d[q * 5 + i] * coeffs[i]).sum();
+            assert!((der - 2.0 * xq).abs() < 1e-11);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Compressed sparse row matrices for the classical full-assembly path.
+
+use rayon::prelude::*;
+
+/// CSR matrix with `u32` column indices (the paper-scale meshes would
+/// overflow this — which is precisely why full assembly is not viable there;
+/// the assertion documents the limit).
+pub struct CsrMatrix {
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Row pointers, `nrows + 1` entries.
+    pub rowptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from per-row `(col, val)` lists.
+    pub fn from_rows(nrows: usize, ncols: usize, rows: Vec<Vec<(u32, f64)>>) -> Self {
+        assert!(ncols <= u32::MAX as usize, "CSR column index overflow");
+        assert_eq!(rows.len(), nrows);
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        rowptr.push(0usize);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        for row in rows {
+            for (c, v) in row {
+                cols.push(c);
+                vals.push(v);
+            }
+            rowptr.push(cols.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Storage bytes (values + indices + pointers).
+    pub fn bytes(&self) -> usize {
+        self.vals.len() * 8 + self.cols.len() * 4 + self.rowptr.len() * 8
+    }
+
+    /// `y = A x`, rows in parallel.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+            let lo = self.rowptr[r];
+            let hi = self.rowptr[r + 1];
+            let mut acc = 0.0;
+            for idx in lo..hi {
+                acc += self.vals[idx] * x[self.cols[idx] as usize];
+            }
+            *out = acc;
+        });
+    }
+
+    /// Explicit transpose (used once at setup to get `Gᵀ` as its own CSR so
+    /// both applies are race-free parallel row sweeps).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.cols {
+            counts[c as usize] += 1;
+        }
+        let mut rowptr = Vec::with_capacity(self.ncols + 1);
+        rowptr.push(0usize);
+        for c in 0..self.ncols {
+            rowptr.push(rowptr[c] + counts[c]);
+        }
+        let nnz = self.nnz();
+        let mut cols = vec![0u32; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut cursor = rowptr[..self.ncols].to_vec();
+        for r in 0..self.nrows {
+            for idx in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.cols[idx] as usize;
+                let dst = cursor[c];
+                cols[dst] = r as u32;
+                vals[dst] = self.vals[idx];
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            cols,
+            vals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        CsrMatrix::from_rows(
+            2,
+            3,
+            vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]],
+        )
+    }
+
+    #[test]
+    fn matvec_basic() {
+        let a = example();
+        let mut y = vec![0.0; 2];
+        a.matvec(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = example();
+        let at = a.transpose();
+        assert_eq!(at.nrows, 3);
+        assert_eq!(at.ncols, 2);
+        let mut y = vec![0.0; 3];
+        at.matvec(&[1.0, 2.0], &mut y);
+        // Aᵀ [1,2] = [1, 6, 2].
+        assert_eq!(y, vec![1.0, 6.0, 2.0]);
+        let att = at.transpose();
+        assert_eq!(att.rowptr, a.rowptr);
+        assert_eq!(att.cols, a.cols);
+        assert_eq!(att.vals, a.vals);
+    }
+
+    #[test]
+    fn nnz_and_bytes() {
+        let a = example();
+        assert_eq!(a.nnz(), 3);
+        assert!(a.bytes() > 0);
+    }
+}

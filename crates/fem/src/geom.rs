@@ -1,0 +1,246 @@
+//! Precomputed element geometry at quadrature points.
+//!
+//! Partial assembly (PA) stores, for each element and each Gauss–Legendre
+//! quadrature point, the inverse Jacobian `J⁻¹` (9 doubles) and the weighted
+//! determinant `w·det J` (1 double) — the asymptotically `O(1)`-per-DOF
+//! storage the paper credits for MFEM's GPU memory wins. The matrix-free
+//! (MF) variant recomputes these on the fly from the 8 element vertices,
+//! trading ~3× the flops for 10 fewer doubles per point (the paper's
+//! byte/DOF vs FLOP/DOF trade-off in §VII-B).
+
+use rayon::prelude::*;
+use tsunami_mesh::HexMesh;
+
+/// Doubles stored per quadrature point: 9 (J⁻¹) + 1 (w·detJ).
+pub const GEOM_STRIDE: usize = 10;
+
+/// Invert a 3×3 matrix given row-major; returns (inverse, det).
+#[inline]
+pub fn invert3x3(j: &[[f64; 3]; 3]) -> ([[f64; 3]; 3], f64) {
+    let det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1])
+        - j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0])
+        + j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+    let inv_det = 1.0 / det;
+    let inv = [
+        [
+            (j[1][1] * j[2][2] - j[1][2] * j[2][1]) * inv_det,
+            (j[0][2] * j[2][1] - j[0][1] * j[2][2]) * inv_det,
+            (j[0][1] * j[1][2] - j[0][2] * j[1][1]) * inv_det,
+        ],
+        [
+            (j[1][2] * j[2][0] - j[1][0] * j[2][2]) * inv_det,
+            (j[0][0] * j[2][2] - j[0][2] * j[2][0]) * inv_det,
+            (j[0][2] * j[1][0] - j[0][0] * j[1][2]) * inv_det,
+        ],
+        [
+            (j[1][0] * j[2][1] - j[1][1] * j[2][0]) * inv_det,
+            (j[0][1] * j[2][0] - j[0][0] * j[2][1]) * inv_det,
+            (j[0][0] * j[1][1] - j[0][1] * j[1][0]) * inv_det,
+        ],
+    ];
+    (inv, det)
+}
+
+/// Compute `(J⁻¹, w·detJ)` for one element at one reference point from its
+/// vertex coordinates (the MF path).
+#[inline]
+pub fn geom_at(
+    coords: &[[f64; 3]; 8],
+    xi: f64,
+    eta: f64,
+    zeta: f64,
+    w: f64,
+) -> ([[f64; 3]; 3], f64) {
+    let sx = [0.5 * (1.0 - xi), 0.5 * (1.0 + xi)];
+    let sy = [0.5 * (1.0 - eta), 0.5 * (1.0 + eta)];
+    let sz = [0.5 * (1.0 - zeta), 0.5 * (1.0 + zeta)];
+    let dxs = [-0.5, 0.5];
+    let mut jac = [[0.0f64; 3]; 3];
+    for dk in 0..2 {
+        for dj in 0..2 {
+            for di in 0..2 {
+                let v = coords[dk * 4 + dj * 2 + di];
+                let gw = [
+                    dxs[di] * sy[dj] * sz[dk],
+                    sx[di] * dxs[dj] * sz[dk],
+                    sx[di] * sy[dj] * dxs[dk],
+                ];
+                for a in 0..3 {
+                    for b in 0..3 {
+                        jac[a][b] += v[a] * gw[b];
+                    }
+                }
+            }
+        }
+    }
+    let (inv, det) = invert3x3(&jac);
+    (inv, w * det)
+}
+
+/// Stored geometry factors for every element × quadrature point (PA path).
+pub struct GeomFactors {
+    /// GL points per direction.
+    pub nq1: usize,
+    /// Elements.
+    pub n_elems: usize,
+    /// `[e · nq³ · 10 + q · 10 ..]`: rows of J⁻¹ then `w·detJ`.
+    pub data: Vec<f64>,
+}
+
+impl GeomFactors {
+    /// Precompute on the tensor GL grid `gl_pts × gl_pts × gl_pts` with
+    /// weights `gl_wts` (1D). Parallel over elements.
+    pub fn build(mesh: &HexMesh, gl_pts: &[f64], gl_wts: &[f64]) -> Self {
+        let nq1 = gl_pts.len();
+        let nq3 = nq1 * nq1 * nq1;
+        let n_elems = mesh.n_elems();
+        let mut data = vec![0.0; n_elems * nq3 * GEOM_STRIDE];
+        data.par_chunks_mut(nq3 * GEOM_STRIDE)
+            .enumerate()
+            .for_each(|(e, chunk)| {
+                let coords = mesh.elem_coords(e);
+                let mut q = 0;
+                for qz in 0..nq1 {
+                    for qy in 0..nq1 {
+                        for qx in 0..nq1 {
+                            let w = gl_wts[qx] * gl_wts[qy] * gl_wts[qz];
+                            let (jinv, jw) =
+                                geom_at(&coords, gl_pts[qx], gl_pts[qy], gl_pts[qz], w);
+                            let o = q * GEOM_STRIDE;
+                            for a in 0..3 {
+                                for b in 0..3 {
+                                    chunk[o + 3 * a + b] = jinv[a][b];
+                                }
+                            }
+                            chunk[o + 9] = jw;
+                            q += 1;
+                        }
+                    }
+                }
+            });
+        GeomFactors { nq1, n_elems, data }
+    }
+
+    /// Quadrature points per element.
+    #[inline]
+    pub fn nq3(&self) -> usize {
+        self.nq1 * self.nq1 * self.nq1
+    }
+
+    /// Factor slice (len 10) for element `e`, point `q`.
+    #[inline]
+    pub fn at(&self, e: usize, q: usize) -> &[f64] {
+        let o = (e * self.nq3() + q) * GEOM_STRIDE;
+        &self.data[o..o + GEOM_STRIDE]
+    }
+
+    /// Stored bytes (the PA memory cost reported by `memory_table`).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::gauss_legendre;
+    use tsunami_mesh::{Bathymetry, CascadiaBathymetry, FlatBathymetry};
+
+    #[test]
+    fn invert3x3_roundtrip() {
+        let m = [[2.0, 0.3, 0.1], [0.0, 1.5, -0.2], [0.4, 0.0, 3.0]];
+        let (inv, det) = invert3x3(&m);
+        assert!(det > 0.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += m[i][k] * inv[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((s - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_mesh_factors_are_diagonal() {
+        let mesh = tsunami_mesh::HexMesh::terrain_following(
+            2,
+            2,
+            2,
+            2000.0,
+            2000.0,
+            &FlatBathymetry { depth: 500.0 },
+        );
+        let (p, w) = gauss_legendre(3);
+        let g = GeomFactors::build(&mesh, &p, &w);
+        let f = g.at(0, 0);
+        // hx=hy=1000, hz=250 → J = diag(500, 500, 125); J⁻¹ diag.
+        assert!((f[0] - 1.0 / 500.0).abs() < 1e-12);
+        assert!((f[4] - 1.0 / 500.0).abs() < 1e-12);
+        assert!((f[8] - 1.0 / 125.0).abs() < 1e-12);
+        assert!(f[1].abs() < 1e-14 && f[3].abs() < 1e-14);
+        assert!(f[9] > 0.0);
+    }
+
+    #[test]
+    fn jw_integrates_volume() {
+        // Σ_e Σ_q jw = mesh volume, for flat and terrain meshes.
+        let bath = CascadiaBathymetry::standard(50e3, 100e3);
+        let mesh = tsunami_mesh::HexMesh::terrain_following(4, 6, 3, 50e3, 100e3, &bath);
+        let (p, w) = gauss_legendre(4);
+        let g = GeomFactors::build(&mesh, &p, &w);
+        let vol_quad: f64 = (0..mesh.n_elems())
+            .flat_map(|e| (0..g.nq3()).map(move |q| (e, q)))
+            .map(|(e, q)| g.at(e, q)[9])
+            .sum();
+        // Exact volume: Σ columns ∫∫ depth dx dy; approximate by fine sampling.
+        let mut vol_ref = 0.0;
+        let n = 200;
+        for j in 0..n {
+            for i in 0..n {
+                let x = (i as f64 + 0.5) / n as f64 * 50e3;
+                let y = (j as f64 + 0.5) / n as f64 * 100e3;
+                vol_ref += bath.depth(x, y) * (50e3 / n as f64) * (100e3 / n as f64);
+            }
+        }
+        // Trilinear mesh only approximates the bathymetry: coarse tolerance.
+        assert!(
+            (vol_quad - vol_ref).abs() < 0.02 * vol_ref,
+            "{vol_quad} vs {vol_ref}"
+        );
+    }
+
+    #[test]
+    fn mf_matches_stored() {
+        let bath = CascadiaBathymetry::standard(50e3, 100e3);
+        let mesh = tsunami_mesh::HexMesh::terrain_following(3, 3, 2, 50e3, 100e3, &bath);
+        let (p, w) = gauss_legendre(4);
+        let g = GeomFactors::build(&mesh, &p, &w);
+        let e = 5;
+        let coords = mesh.elem_coords(e);
+        let mut q = 0;
+        for qz in 0..4 {
+            for qy in 0..4 {
+                for qx in 0..4 {
+                    let (jinv, jw) = geom_at(
+                        &coords,
+                        p[qx],
+                        p[qy],
+                        p[qz],
+                        w[qx] * w[qy] * w[qz],
+                    );
+                    let f = g.at(e, q);
+                    for a in 0..3 {
+                        for b in 0..3 {
+                            assert!((f[3 * a + b] - jinv[a][b]).abs() < 1e-14);
+                        }
+                    }
+                    assert!((f[9] - jw).abs() < 1e-12 * jw.abs().max(1.0));
+                    q += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! "Full Assembly": the classical global-sparse-matrix baseline.
+//!
+//! Assembles `G` (and its explicit transpose) into CSR once, then applies
+//! by SpMV. At order 4 this stores ~125 nonzeros per velocity dof — the
+//! orders-of-magnitude memory overhead relative to partial assembly that
+//! MFEM's PA decomposition (§VI-B) eliminates.
+
+use super::{KernelContext, WaveKernel};
+use crate::csr::CsrMatrix;
+use std::sync::Arc;
+
+/// Fully assembled operator pair `G` / `Gᵀ`.
+pub struct FullAssembly {
+    ctx: Arc<KernelContext>,
+    g: CsrMatrix,
+    gt: CsrMatrix,
+}
+
+impl FullAssembly {
+    /// Assemble both sparse matrices.
+    pub fn new(ctx: Arc<KernelContext>) -> Self {
+        let np1 = ctx.h1.order + 1;
+        let np3 = np1 * np1 * np1;
+        let nq = ctx.nq1();
+        let nq3 = ctx.nq3();
+        let b = &ctx.basis.b;
+        let d = &ctx.basis.d;
+        let n_u = ctx.n_u();
+        let n_p = ctx.n_p();
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_u];
+        for e in 0..ctx.mesh.n_elems() {
+            let (i, j, k) = ctx.mesh.elem_ijk(e);
+            // Element dof list in tensor order.
+            let mut dofs = Vec::with_capacity(np3);
+            for c in 0..np1 {
+                for bb in 0..np1 {
+                    for a in 0..np1 {
+                        dofs.push(ctx.h1.elem_dof(i, j, k, a, bb, c) as u32);
+                    }
+                }
+            }
+            for qz in 0..nq {
+                for qy in 0..nq {
+                    for qx in 0..nq {
+                        let q = (qz * nq + qy) * nq + qx;
+                        let f = ctx.geom.at(e, q);
+                        let jw = f[9];
+                        for comp in 0..3 {
+                            let row = (e * 3 + comp) * nq3 + q;
+                            let entries = &mut rows[row];
+                            entries.reserve(np3);
+                            for c in 0..np1 {
+                                for bb in 0..np1 {
+                                    for a in 0..np1 {
+                                        let i_local = (c * np1 + bb) * np1 + a;
+                                        let dref = [
+                                            d[qx * np1 + a] * b[qy * np1 + bb] * b[qz * np1 + c],
+                                            b[qx * np1 + a] * d[qy * np1 + bb] * b[qz * np1 + c],
+                                            b[qx * np1 + a] * b[qy * np1 + bb] * d[qz * np1 + c],
+                                        ];
+                                        let val = jw
+                                            * (f[comp] * dref[0]
+                                                + f[3 + comp] * dref[1]
+                                                + f[6 + comp] * dref[2]);
+                                        entries.push((dofs[i_local], val));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let g = CsrMatrix::from_rows(n_u, n_p, rows);
+        let gt = g.transpose();
+        FullAssembly { ctx, g, gt }
+    }
+}
+
+impl WaveKernel for FullAssembly {
+    fn name(&self) -> &'static str {
+        "Full Assembly"
+    }
+
+    fn apply_grad(&self, p: &[f64], u_res: &mut [f64]) {
+        self.g.matvec(p, u_res);
+    }
+
+    fn apply_div(&self, u: &[f64], p_res: &mut [f64]) {
+        self.gt.matvec(u, p_res);
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.ctx.geom.bytes() + self.g.bytes() + self.gt.bytes()
+    }
+}

@@ -1,0 +1,178 @@
+//! Gauss–Legendre and Gauss–Lobatto–Legendre quadrature on `[-1, 1]`.
+//!
+//! GL points collocate the discontinuous velocity space (diagonal mass);
+//! GLL points carry the continuous pressure space (spectral-element lumped
+//! mass). Nodes are found by Newton iteration on Legendre polynomials, which
+//! is accurate to machine precision for the modest orders used here (≤ 16).
+
+/// Legendre polynomial `P_n(x)` and derivative `P_n'(x)` by recurrence.
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let mut p_prev = 1.0;
+    let mut p = x;
+    for k in 1..n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf + 1.0) * x * p - kf * p_prev) / (kf + 1.0);
+        p_prev = p;
+        p = p_next;
+    }
+    // P_n' via the standard identity (x² − 1) P_n' = n (x P_n − P_{n−1}).
+    let dp = if x.abs() < 1.0 {
+        n as f64 * (x * p - p_prev) / (x * x - 1.0)
+    } else {
+        // Endpoint limit: P_n'(±1) = ±1^{n-1} n(n+1)/2.
+        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        sign * n as f64 * (n as f64 + 1.0) / 2.0
+    };
+    (p, dp)
+}
+
+/// `n`-point Gauss–Legendre rule: exact for polynomials of degree `2n−1`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1);
+    let mut pts = vec![0.0; n];
+    let mut wts = vec![0.0; n];
+    for i in 0..n {
+        // Chebyshev initial guess, then Newton.
+        let mut x = -(std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            let (p, dp) = legendre(n, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let (_, dp) = legendre(n, x);
+        pts[i] = x;
+        wts[i] = 2.0 / ((1.0 - x * x) * dp * dp);
+    }
+    (pts, wts)
+}
+
+/// `n`-point Gauss–Lobatto–Legendre rule (includes ±1): exact for degree
+/// `2n−3`. Requires `n ≥ 2`.
+pub fn gauss_lobatto(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 2);
+    let m = n - 1;
+    let mut pts = vec![0.0; n];
+    let mut wts = vec![0.0; n];
+    pts[0] = -1.0;
+    pts[m] = 1.0;
+    // Interior nodes are roots of P'_{n-1}; Newton on dP.
+    for i in 1..m {
+        // Initial guess: Chebyshev–Lobatto point.
+        let mut x = -(std::f64::consts::PI * i as f64 / m as f64).cos();
+        for _ in 0..100 {
+            // Use the derivative recurrence: find root of P'_m via
+            // f = P'_m, f' = P''_m with P'' from the Legendre ODE:
+            // (1−x²) P'' − 2x P' + m(m+1) P = 0.
+            let (p, dp) = legendre(m, x);
+            let ddp = (2.0 * x * dp - (m * (m + 1)) as f64 * p) / (1.0 - x * x);
+            let dx = dp / ddp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        pts[i] = x;
+    }
+    // Sort for safety (Newton preserves order in practice).
+    pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for i in 0..n {
+        let (p, _) = legendre(m, pts[i]);
+        wts[i] = 2.0 / ((m * (m + 1)) as f64 * p * p);
+    }
+    (pts, wts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate(pts: &[f64], wts: &[f64], f: impl Fn(f64) -> f64) -> f64 {
+        pts.iter().zip(wts).map(|(&x, &w)| w * f(x)).sum()
+    }
+
+    #[test]
+    fn gl_weights_sum_to_two() {
+        for n in 1..10 {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn gll_weights_sum_to_two() {
+        for n in 2..10 {
+            let (_, w) = gauss_lobatto(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn gl_exact_for_degree_2n_minus_1() {
+        for n in 1..8usize {
+            let (p, w) = gauss_legendre(n);
+            let deg = 2 * n - 1;
+            // ∫ x^deg = 0 (odd) and ∫ x^{deg-1} = 2/deg for even power.
+            let odd = integrate(&p, &w, |x| x.powi(deg as i32));
+            assert!(odd.abs() < 1e-12, "n={n} odd moment {odd}");
+            let even_deg = deg - 1;
+            let exact = 2.0 / (even_deg as f64 + 1.0);
+            let got = integrate(&p, &w, |x| x.powi(even_deg as i32));
+            assert!((got - exact).abs() < 1e-12, "n={n}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn gll_exact_for_degree_2n_minus_3() {
+        for n in 2..8usize {
+            let (p, w) = gauss_lobatto(n);
+            let deg = 2 * n - 3;
+            let even_deg = deg & !1; // largest even ≤ deg
+            let exact = 2.0 / (even_deg as f64 + 1.0);
+            let got = integrate(&p, &w, |x| x.powi(even_deg as i32));
+            assert!((got - exact).abs() < 1e-12, "n={n}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn gll_includes_endpoints() {
+        for n in 2..8 {
+            let (p, _) = gauss_lobatto(n);
+            assert_eq!(p[0], -1.0);
+            assert_eq!(p[n - 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn nodes_sorted_and_symmetric() {
+        for n in 2..9 {
+            let (p, _) = gauss_legendre(n);
+            for w in p.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for i in 0..n {
+                assert!((p[i] + p[n - 1 - i]).abs() < 1e-13, "GL asymmetric at n={n}");
+            }
+            let (pl, _) = gauss_lobatto(n.max(2));
+            for i in 0..pl.len() {
+                assert!((pl[i] + pl[pl.len() - 1 - i]).abs() < 1e-13, "GLL asymmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn legendre_endpoint_derivative() {
+        // P_n'(1) = n(n+1)/2.
+        for n in 1..7usize {
+            let (_, dp) = legendre(n, 1.0);
+            assert!((dp - (n * (n + 1)) as f64 / 2.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Bluestein's chirp-z algorithm: DFT of arbitrary length via a
+//! power-of-two convolution.
+//!
+//! The Toeplitz engine itself always embeds into power-of-two circulants,
+//! but the DCT (prior solver) and general utilities need arbitrary lengths,
+//! e.g. `Nt = 420` observation steps as in the paper's Cascadia setup.
+
+use crate::plan::FftPlan;
+use tsunami_linalg::C64;
+
+/// A Bluestein plan for fixed arbitrary length `n`.
+pub struct Bluestein {
+    n: usize,
+    /// Inner power-of-two convolution length `m ≥ 2n−1`.
+    m: usize,
+    plan: FftPlan,
+    /// Chirp `a_k = e^{-πik²/n}` (angle reduced mod 2n for accuracy).
+    chirp: Vec<C64>,
+    /// FFT of the zero-padded conjugate chirp kernel.
+    kernel_hat: Vec<C64>,
+}
+
+impl Bluestein {
+    /// Build a plan for length `n ≥ 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let m = (2 * n - 1).next_power_of_two();
+        let plan = FftPlan::new(m);
+        // chirp[k] = e^{-iπ k²/n}; reduce k² mod 2n (the phase has period 2n).
+        let chirp: Vec<C64> = (0..n)
+            .map(|k| {
+                let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+                C64::cis(-std::f64::consts::PI * k2 / n as f64)
+            })
+            .collect();
+        // Kernel b_j = conj(chirp[|j|]) wrapped onto [0, m).
+        let mut kernel = vec![C64::ZERO; m];
+        for k in 0..n {
+            let c = chirp[k].conj();
+            kernel[k] = c;
+            if k != 0 {
+                kernel[m - k] = c;
+            }
+        }
+        let mut kernel_hat = kernel;
+        plan.forward(&mut kernel_hat);
+        Bluestein {
+            n,
+            m,
+            plan,
+            chirp,
+            kernel_hat,
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plan length is zero (never constructible; for clippy).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT of `x` (length `n`), out of place.
+    pub fn forward(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.n);
+        let mut a = vec![C64::ZERO; self.m];
+        for k in 0..self.n {
+            a[k] = x[k] * self.chirp[k];
+        }
+        self.plan.forward(&mut a);
+        for (ai, bi) in a.iter_mut().zip(&self.kernel_hat) {
+            *ai *= *bi;
+        }
+        self.plan.inverse(&mut a);
+        (0..self.n).map(|k| a[k] * self.chirp[k]).collect()
+    }
+
+    /// Inverse DFT (normalized by `1/n`).
+    pub fn inverse(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.n);
+        let conj_in: Vec<C64> = x.iter().map(|z| z.conj()).collect();
+        let y = self.forward(&conj_in);
+        y.into_iter().map(|z| z.conj().scale(1.0 / self.n as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{naive_dft, naive_idft};
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_for_awkward_lengths() {
+        for &n in &[1usize, 2, 3, 5, 7, 12, 100, 420, 243] {
+            let x = signal(n);
+            let fast = Bluestein::new(n).forward(&x);
+            let slow = naive_dft(&x);
+            let err: f64 = fast
+                .iter()
+                .zip(&slow)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9 * (n as f64).max(1.0), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        let n = 37;
+        let x = signal(n);
+        let fast = Bluestein::new(n).inverse(&x);
+        let slow = naive_idft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_length() {
+        let n = 421; // prime
+        let x = signal(n);
+        let b = Bluestein::new(n);
+        let y = b.inverse(&b.forward(&x));
+        for (a, c) in x.iter().zip(&y) {
+            assert!((*a - *c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_pow2() {
+        let n = 64;
+        let x = signal(n);
+        let via_bluestein = Bluestein::new(n).forward(&x);
+        let mut via_radix2 = x.clone();
+        FftPlan::new(n).forward(&mut via_radix2);
+        for (a, b) in via_bluestein.iter().zip(&via_radix2) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Orthonormal DCT-II / DCT-III and a 2D tensor-product transform.
+//!
+//! The Matérn prior covariance is the inverse of an elliptic operator
+//! `(δI − γΔ)²` with homogeneous Neumann conditions on the 2D parameter
+//! grid. On a uniform cell-centered grid that operator is diagonalized by
+//! the DCT-II basis, so prior applications (Phase 2's `Nd + Nq` "prior
+//! solves") become two 2D DCTs plus a diagonal scaling — the CPU analogue of
+//! the paper's cuDSS sparse solves, but exact and `O(N log N)`.
+
+use crate::bluestein::Bluestein;
+use tsunami_linalg::C64;
+
+/// Orthonormal DCT-II of `x`:
+/// `X_k = s_k Σ_j x_j cos(π(2j+1)k/(2n))`, `s_0 = √(1/n)`, `s_k = √(2/n)`.
+///
+/// The transform matrix is orthogonal, so [`dct3_orthonormal`] is its exact
+/// inverse (and transpose).
+/// # Example
+///
+/// The orthonormal DCT-II/DCT-III pair is an exact roundtrip and an
+/// isometry (Parseval):
+///
+/// ```
+/// use tsunami_fft::{dct2_orthonormal, dct3_orthonormal};
+/// let x = vec![0.3, -1.2, 2.0, 0.7, -0.4];
+/// let spec = dct2_orthonormal(&x);
+/// let back = dct3_orthonormal(&spec);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// let ex: f64 = x.iter().map(|v| v * v).sum();
+/// let es: f64 = spec.iter().map(|v| v * v).sum();
+/// assert!((ex - es).abs() < 1e-12);
+/// ```
+pub fn dct2_orthonormal(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n >= 1);
+    // Even-symmetric extension to length 2n, then complex DFT.
+    let mut ext = vec![C64::ZERO; 2 * n];
+    for j in 0..n {
+        ext[j] = C64::real(x[j]);
+        ext[2 * n - 1 - j] = C64::real(x[j]);
+    }
+    let plan = Bluestein::new(2 * n);
+    let y = plan.forward(&ext);
+    let s0 = (1.0 / n as f64).sqrt();
+    let sk = (2.0 / n as f64).sqrt();
+    (0..n)
+        .map(|k| {
+            let phase = C64::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+            let raw = 0.5 * (phase * y[k]).re;
+            raw * if k == 0 { s0 } else { sk }
+        })
+        .collect()
+}
+
+/// Orthonormal DCT-III — the inverse of [`dct2_orthonormal`].
+pub fn dct3_orthonormal(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n >= 1);
+    // Y_j = Σ_k s_k x_k cos(π(2j+1)k/(2n))
+    //     = Re( Σ_{k<n} c_k e^{2πijk/(2n)} ),  c_k = s_k x_k e^{iπk/(2n)},
+    // i.e. the real part of a length-2n inverse DFT (×2n to undo its
+    // normalization) of the one-sided spectrum c.
+    let s0 = (1.0 / n as f64).sqrt();
+    let sk = (2.0 / n as f64).sqrt();
+    let mut spec = vec![C64::ZERO; 2 * n];
+    for k in 0..n {
+        let coeff = x[k] * if k == 0 { s0 } else { sk };
+        spec[k] = C64::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64)).scale(coeff);
+    }
+    let plan = Bluestein::new(2 * n);
+    let y = plan.inverse(&spec);
+    (0..n).map(|j| y[j].re * 2.0 * n as f64).collect()
+}
+
+/// Separable 2D orthonormal DCT-II on an `ny × nx` row-major grid, with
+/// cached 1D plans. Forward = DCT-II along both axes; inverse = DCT-III.
+pub struct Dct2d {
+    nx: usize,
+    ny: usize,
+    plan_x: Bluestein,
+    plan_y: Bluestein,
+}
+
+impl Dct2d {
+    /// Create plans for an `ny`-row × `nx`-column grid.
+    pub fn new(ny: usize, nx: usize) -> Self {
+        Dct2d {
+            nx,
+            ny,
+            plan_x: Bluestein::new(2 * nx),
+            plan_y: Bluestein::new(2 * ny),
+        }
+    }
+
+    /// Grid size `(ny, nx)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.ny, self.nx)
+    }
+
+    fn dct2_with(plan: &Bluestein, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let mut ext = vec![C64::ZERO; 2 * n];
+        for j in 0..n {
+            ext[j] = C64::real(x[j]);
+            ext[2 * n - 1 - j] = C64::real(x[j]);
+        }
+        let y = plan.forward(&ext);
+        let s0 = (1.0 / n as f64).sqrt();
+        let sk = (2.0 / n as f64).sqrt();
+        (0..n)
+            .map(|k| {
+                let phase = C64::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+                0.5 * (phase * y[k]).re * if k == 0 { s0 } else { sk }
+            })
+            .collect()
+    }
+
+    fn dct3_with(plan: &Bluestein, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let s0 = (1.0 / n as f64).sqrt();
+        let sk = (2.0 / n as f64).sqrt();
+        let mut spec = vec![C64::ZERO; 2 * n];
+        for k in 0..n {
+            let coeff = x[k] * if k == 0 { s0 } else { sk };
+            spec[k] = C64::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64)).scale(coeff);
+        }
+        let y = plan.inverse(&spec);
+        (0..n).map(|j| y[j].re * 2.0 * n as f64).collect()
+    }
+
+    /// Forward 2D DCT-II (orthonormal), row-major `ny × nx` input.
+    pub fn forward(&self, grid: &[f64]) -> Vec<f64> {
+        assert_eq!(grid.len(), self.nx * self.ny);
+        // Transform rows.
+        let mut tmp = vec![0.0; grid.len()];
+        for r in 0..self.ny {
+            let row = &grid[r * self.nx..(r + 1) * self.nx];
+            tmp[r * self.nx..(r + 1) * self.nx].copy_from_slice(&Self::dct2_with(&self.plan_x, row));
+        }
+        // Transform columns.
+        let mut out = vec![0.0; grid.len()];
+        let mut col = vec![0.0; self.ny];
+        for c in 0..self.nx {
+            for r in 0..self.ny {
+                col[r] = tmp[r * self.nx + c];
+            }
+            let t = Self::dct2_with(&self.plan_y, &col);
+            for r in 0..self.ny {
+                out[r * self.nx + c] = t[r];
+            }
+        }
+        out
+    }
+
+    /// Inverse 2D transform (DCT-III along both axes).
+    pub fn inverse(&self, grid: &[f64]) -> Vec<f64> {
+        assert_eq!(grid.len(), self.nx * self.ny);
+        let mut tmp = vec![0.0; grid.len()];
+        let mut col = vec![0.0; self.ny];
+        for c in 0..self.nx {
+            for r in 0..self.ny {
+                col[r] = grid[r * self.nx + c];
+            }
+            let t = Self::dct3_with(&self.plan_y, &col);
+            for r in 0..self.ny {
+                tmp[r * self.nx + c] = t[r];
+            }
+        }
+        let mut out = vec![0.0; grid.len()];
+        for r in 0..self.ny {
+            let row = &tmp[r * self.nx..(r + 1) * self.nx];
+            out[r * self.nx..(r + 1) * self.nx].copy_from_slice(&Self::dct3_with(&self.plan_x, row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dct2(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let s0 = (1.0 / n as f64).sqrt();
+        let sk = (2.0 / n as f64).sqrt();
+        (0..n)
+            .map(|k| {
+                let sum: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        v * (std::f64::consts::PI * (2 * j + 1) as f64 * k as f64
+                            / (2.0 * n as f64))
+                            .cos()
+                    })
+                    .sum();
+                sum * if k == 0 { s0 } else { sk }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dct2_matches_naive() {
+        for &n in &[1usize, 2, 3, 8, 17, 33] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin() + 0.3).collect();
+            let fast = dct2_orthonormal(&x);
+            let slow = naive_dct2(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct3_inverts_dct2() {
+        for &n in &[1usize, 4, 9, 16, 31] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 2.0 - 0.5).collect();
+            let y = dct3_orthonormal(&dct2_orthonormal(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct2_preserves_energy() {
+        let x: Vec<f64> = (0..25).map(|i| (i as f64 * 0.31).sin()).collect();
+        let y = dct2_orthonormal(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-10 * ex);
+    }
+
+    #[test]
+    fn dct2d_roundtrip() {
+        let (ny, nx) = (7, 11);
+        let grid: Vec<f64> = (0..ny * nx).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let d = Dct2d::new(ny, nx);
+        let back = d.inverse(&d.forward(&grid));
+        for (a, b) in grid.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct2d_diagonalizes_cosine_mode() {
+        // A pure DCT mode should transform to a single coefficient.
+        let (ny, nx) = (6, 8);
+        let (ky, kx) = (2usize, 3usize);
+        let mut grid = vec![0.0; ny * nx];
+        for r in 0..ny {
+            for c in 0..nx {
+                grid[r * nx + c] = (std::f64::consts::PI * (2 * r + 1) as f64 * ky as f64
+                    / (2.0 * ny as f64))
+                    .cos()
+                    * (std::f64::consts::PI * (2 * c + 1) as f64 * kx as f64 / (2.0 * nx as f64))
+                        .cos();
+            }
+        }
+        let d = Dct2d::new(ny, nx);
+        let spec = d.forward(&grid);
+        let peak = spec[ky * nx + kx];
+        assert!(peak.abs() > 1.0);
+        for (i, v) in spec.iter().enumerate() {
+            if i != ky * nx + kx {
+                assert!(v.abs() < 1e-9, "leakage at {i}: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Naive `O(n²)` discrete Fourier transform — the oracle the fast
+//! transforms are property-tested against.
+
+use tsunami_linalg::C64;
+
+/// Forward DFT by direct summation: `X_k = Σ_j x_j e^{-2πijk/n}`.
+pub fn naive_dft(x: &[C64]) -> Vec<C64> {
+    let n = x.len();
+    let mut out = vec![C64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = C64::ZERO;
+        for (j, &xj) in x.iter().enumerate() {
+            // Reduce j*k mod n before the angle for accuracy at large n.
+            let e = ((j * k) % n) as f64;
+            acc = acc.mul_add(xj, C64::cis(-2.0 * std::f64::consts::PI * e / n as f64));
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Inverse DFT by direct summation (normalized by `1/n`).
+pub fn naive_idft(x: &[C64]) -> Vec<C64> {
+    let n = x.len();
+    let mut out = vec![C64::ZERO; n];
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = C64::ZERO;
+        for (k, &xk) in x.iter().enumerate() {
+            let e = ((j * k) % n) as f64;
+            acc = acc.mul_add(xk, C64::cis(2.0 * std::f64::consts::PI * e / n as f64));
+        }
+        *o = acc.scale(1.0 / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let n = 10;
+        let x = vec![C64::ONE; n];
+        let y = naive_dft(&x);
+        assert!((y[0].re - n as f64).abs() < 1e-10);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<C64> = (0..7).map(|i| C64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let y = naive_idft(&naive_dft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! FFT-accelerated block-Toeplitz matvec/matmat — the paper's §V-A engine.
+//!
+//! The block lower-triangular Toeplitz matrix is embedded in a block
+//! circulant of length `L = next_pow2(2·Nt)`, which the DFT block-
+//! diagonalizes. A matvec is then
+//!
+//! 1. **forward stage**: one length-`L` FFT per input spatial index
+//!    (`in_dim` FFTs),
+//! 2. **frequency stage**: an independent `out_dim × in_dim` complex
+//!    matvec per frequency (embarrassingly parallel — this is where the 2D
+//!    GPU-grid partitioning of the paper's FFTMatvec lives),
+//! 3. **inverse stage**: one length-`L` inverse FFT per output index
+//!    (`out_dim` FFTs), keeping the first `Nt` samples (the circulant
+//!    wrap-around lands in the discarded tail).
+//!
+//! Cost: `O((Nd+Nm)·Nt log Nt + Nt·Nd·Nm)` versus `O(Nt²·Nd·Nm)` naive —
+//! and versus *a pair of PDE solves per matvec* for the conventional
+//! matrix-free Hessian.
+//!
+//! Data layout notes (mirroring §V-A): spectra are stored
+//! **frequency-major** (`spectra[f]` is a contiguous `out_dim × in_dim`
+//! complex block) so the frequency stage streams contiguous memory, the
+//! exact "exchange the order of space and time indices" optimization the
+//! paper describes.
+
+use crate::plan::FftPlan;
+use crate::toeplitz::BlockToeplitz;
+use rayon::prelude::*;
+use tsunami_linalg::{C64, DMatrix};
+
+/// FFT-form of a block lower-triangular Toeplitz operator.
+pub struct FftBlockToeplitz {
+    /// Number of time blocks.
+    pub nt: usize,
+    /// Rows per block.
+    pub out_dim: usize,
+    /// Columns per block.
+    pub in_dim: usize,
+    /// Circulant embedding length (power of two ≥ 2·nt).
+    len: usize,
+    plan: FftPlan,
+    /// Frequency-major spectra: `spectra[f*out_dim*in_dim + r*in_dim + c]`
+    /// = `T̂(f)[r,c]`.
+    spectra: Vec<C64>,
+}
+
+impl FftBlockToeplitz {
+    /// Precompute the spectra of the defining blocks.
+    ///
+    /// This is a one-time cost after Phase 1 delivers the blocks; it is the
+    /// boundary between "offline" and "online" work for the map.
+    pub fn from_blocks(t: &BlockToeplitz) -> Self {
+        let nt = t.nt;
+        let (out_dim, in_dim) = (t.out_dim, t.in_dim);
+        let len = (2 * nt).next_power_of_two();
+        let plan = FftPlan::new(len);
+        let mut spectra = vec![C64::ZERO; len * out_dim * in_dim];
+        // FFT each scalar sequence t_k[r,c]; parallel over (r,c) pairs.
+        // Scatter into frequency-major layout afterwards.
+        let per_pair: Vec<Vec<C64>> = (0..out_dim * in_dim)
+            .into_par_iter()
+            .map(|rc| {
+                let (r, c) = (rc / in_dim, rc % in_dim);
+                let mut buf = vec![C64::ZERO; len];
+                for (k, blk) in t.blocks.iter().enumerate() {
+                    buf[k] = C64::real(blk[(r, c)]);
+                }
+                plan.forward(&mut buf);
+                buf
+            })
+            .collect();
+        for (rc, seq) in per_pair.iter().enumerate() {
+            for (f, &v) in seq.iter().enumerate() {
+                spectra[f * out_dim * in_dim + rc] = v;
+            }
+        }
+        FftBlockToeplitz {
+            nt,
+            out_dim,
+            in_dim,
+            len,
+            plan,
+            spectra,
+        }
+    }
+
+    /// Total rows `out_dim · nt`.
+    pub fn nrows(&self) -> usize {
+        self.out_dim * self.nt
+    }
+
+    /// Total cols `in_dim · nt`.
+    pub fn ncols(&self) -> usize {
+        self.in_dim * self.nt
+    }
+
+    /// Circulant embedding length.
+    pub fn embedding_len(&self) -> usize {
+        self.len
+    }
+
+    /// Spectra storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.spectra.len() * std::mem::size_of::<C64>()
+    }
+
+    /// Forward-stage FFTs: time sequences of each spatial input index.
+    /// Input layout: `x[t*dim + s]`; output: column-major per index
+    /// (`out[s]` = spectrum of index `s`).
+    fn stage_fft(&self, x: &[f64], dim: usize) -> Vec<Vec<C64>> {
+        (0..dim)
+            .into_par_iter()
+            .map(|s| {
+                let mut buf = vec![C64::ZERO; self.len];
+                for t in 0..self.nt {
+                    buf[t] = C64::real(x[t * dim + s]);
+                }
+                self.plan.forward(&mut buf);
+                buf
+            })
+            .collect()
+    }
+
+    /// Matvec `y = T x` via the circulant embedding.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols(), "fft matvec: x dim");
+        assert_eq!(y.len(), self.nrows(), "fft matvec: y dim");
+        let xhat = self.stage_fft(x, self.in_dim);
+        // Frequency stage: ŷ_f = T̂_f · x̂_f, parallel over f.
+        let yhat: Vec<Vec<C64>> = (0..self.len)
+            .into_par_iter()
+            .map(|f| {
+                let blk = &self.spectra[f * self.out_dim * self.in_dim
+                    ..(f + 1) * self.out_dim * self.in_dim];
+                let mut out = vec![C64::ZERO; self.out_dim];
+                for (r, o) in out.iter_mut().enumerate() {
+                    let row = &blk[r * self.in_dim..(r + 1) * self.in_dim];
+                    let mut acc = C64::ZERO;
+                    for (c, w) in row.iter().enumerate() {
+                        acc = acc.mul_add(*w, xhat[c][f]);
+                    }
+                    *o = acc;
+                }
+                out
+            })
+            .collect();
+        // Inverse stage per output index.
+        let cols: Vec<Vec<C64>> = (0..self.out_dim)
+            .into_par_iter()
+            .map(|r| {
+                let mut buf: Vec<C64> = (0..self.len).map(|f| yhat[f][r]).collect();
+                self.plan.inverse(&mut buf);
+                buf
+            })
+            .collect();
+        for t in 0..self.nt {
+            for r in 0..self.out_dim {
+                y[t * self.out_dim + r] = cols[r][t].re;
+            }
+        }
+    }
+
+    /// Transpose matvec `z = Tᵀ w` via time reversal:
+    /// `Tᵀ = R · Toep(T_kᵀ) · R` with `R` the block time-reversal.
+    pub fn matvec_transpose(&self, w: &[f64], z: &mut [f64]) {
+        assert_eq!(w.len(), self.nrows(), "fft matvec_t: w dim");
+        assert_eq!(z.len(), self.ncols(), "fft matvec_t: z dim");
+        // v = reverse_time(w)
+        let mut v = vec![0.0; w.len()];
+        for t in 0..self.nt {
+            let src = &w[t * self.out_dim..(t + 1) * self.out_dim];
+            let dst = &mut v[(self.nt - 1 - t) * self.out_dim..(self.nt - t) * self.out_dim];
+            dst.copy_from_slice(src);
+        }
+        let vhat = self.stage_fft(&v, self.out_dim);
+        // Frequency stage with transposed blocks: û_f = T̂_fᵀ · v̂_f.
+        let uhat: Vec<Vec<C64>> = (0..self.len)
+            .into_par_iter()
+            .map(|f| {
+                let blk = &self.spectra[f * self.out_dim * self.in_dim
+                    ..(f + 1) * self.out_dim * self.in_dim];
+                let mut out = vec![C64::ZERO; self.in_dim];
+                for r in 0..self.out_dim {
+                    let row = &blk[r * self.in_dim..(r + 1) * self.in_dim];
+                    let wf = vhat[r][f];
+                    for (c, o) in out.iter_mut().enumerate() {
+                        *o = o.mul_add(row[c], wf);
+                    }
+                }
+                out
+            })
+            .collect();
+        let cols: Vec<Vec<C64>> = (0..self.in_dim)
+            .into_par_iter()
+            .map(|c| {
+                let mut buf: Vec<C64> = (0..self.len).map(|f| uhat[f][c]).collect();
+                self.plan.inverse(&mut buf);
+                buf
+            })
+            .collect();
+        for t in 0..self.nt {
+            for c in 0..self.in_dim {
+                z[t * self.in_dim + c] = cols[c][self.nt - 1 - t].re;
+            }
+        }
+    }
+
+    /// Multi-vector product `Y = T X` where `X` is `(in_dim·nt) × k`
+    /// column-major dense. Used to form the data-space Hessian `K` (Phase 2)
+    /// and the QoI covariance (Phase 3) without `k` separate dispatches.
+    pub fn matmat(&self, x: &DMatrix) -> DMatrix {
+        assert_eq!(x.nrows(), self.ncols(), "fft matmat: x rows");
+        let k = x.ncols();
+        let mut y = DMatrix::zeros(self.nrows(), k);
+        // Process columns in parallel; each column is an independent matvec.
+        // (The paper batches FFTs across columns on the GPU; on CPU,
+        // column-parallelism achieves the same utilization.)
+        let cols: Vec<Vec<f64>> = (0..k)
+            .into_par_iter()
+            .map(|j| {
+                let xj = x.col(j);
+                let mut yj = vec![0.0; self.nrows()];
+                self.matvec_serial(&xj, &mut yj);
+                yj
+            })
+            .collect();
+        for (j, cj) in cols.iter().enumerate() {
+            y.set_col(j, cj);
+        }
+        y
+    }
+
+    /// Serial matvec (no inner rayon) — used by [`Self::matmat`], where
+    /// parallelism is over columns, to avoid nested pool contention.
+    pub fn matvec_serial(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        let mut xhat = vec![C64::ZERO; self.in_dim * self.len];
+        let mut buf = vec![C64::ZERO; self.len];
+        for s in 0..self.in_dim {
+            for z in buf.iter_mut() {
+                *z = C64::ZERO;
+            }
+            for t in 0..self.nt {
+                buf[t] = C64::real(x[t * self.in_dim + s]);
+            }
+            self.plan.forward(&mut buf);
+            // store index-major: xhat[s*len + f]
+            xhat[s * self.len..(s + 1) * self.len].copy_from_slice(&buf);
+        }
+        let mut yhat = vec![C64::ZERO; self.out_dim * self.len];
+        for f in 0..self.len {
+            let blk =
+                &self.spectra[f * self.out_dim * self.in_dim..(f + 1) * self.out_dim * self.in_dim];
+            for r in 0..self.out_dim {
+                let row = &blk[r * self.in_dim..(r + 1) * self.in_dim];
+                let mut acc = C64::ZERO;
+                for (c, w) in row.iter().enumerate() {
+                    acc = acc.mul_add(*w, xhat[c * self.len + f]);
+                }
+                yhat[r * self.len + f] = acc;
+            }
+        }
+        for r in 0..self.out_dim {
+            buf.copy_from_slice(&yhat[r * self.len..(r + 1) * self.len]);
+            self.plan.inverse(&mut buf);
+            for t in 0..self.nt {
+                y[t * self.out_dim + r] = buf[t].re;
+            }
+        }
+    }
+
+    /// Serial transpose matvec, mirroring [`Self::matvec_serial`].
+    pub fn matvec_transpose_serial(&self, w: &[f64], z: &mut [f64]) {
+        assert_eq!(w.len(), self.nrows());
+        assert_eq!(z.len(), self.ncols());
+        let mut vhat = vec![C64::ZERO; self.out_dim * self.len];
+        let mut buf = vec![C64::ZERO; self.len];
+        for r in 0..self.out_dim {
+            for zb in buf.iter_mut() {
+                *zb = C64::ZERO;
+            }
+            for t in 0..self.nt {
+                buf[self.nt - 1 - t] = C64::real(w[t * self.out_dim + r]);
+            }
+            self.plan.forward(&mut buf);
+            vhat[r * self.len..(r + 1) * self.len].copy_from_slice(&buf);
+        }
+        let mut uhat = vec![C64::ZERO; self.in_dim * self.len];
+        for f in 0..self.len {
+            let blk =
+                &self.spectra[f * self.out_dim * self.in_dim..(f + 1) * self.out_dim * self.in_dim];
+            for r in 0..self.out_dim {
+                let row = &blk[r * self.in_dim..(r + 1) * self.in_dim];
+                let wf = vhat[r * self.len + f];
+                for (c, w_rc) in row.iter().enumerate() {
+                    let u = &mut uhat[c * self.len + f];
+                    *u = u.mul_add(*w_rc, wf);
+                }
+            }
+        }
+        for c in 0..self.in_dim {
+            buf.copy_from_slice(&uhat[c * self.len..(c + 1) * self.len]);
+            self.plan.inverse(&mut buf);
+            for t in 0..self.nt {
+                z[t * self.in_dim + c] = buf[self.nt - 1 - t].re;
+            }
+        }
+    }
+
+    /// Multi-vector transpose product `Z = Tᵀ W`.
+    pub fn matmat_transpose(&self, w: &DMatrix) -> DMatrix {
+        assert_eq!(w.nrows(), self.nrows(), "fft matmat_t: w rows");
+        let k = w.ncols();
+        let mut z = DMatrix::zeros(self.ncols(), k);
+        let cols: Vec<Vec<f64>> = (0..k)
+            .into_par_iter()
+            .map(|j| {
+                let wj = w.col(j);
+                let mut zj = vec![0.0; self.ncols()];
+                self.matvec_transpose_serial(&wj, &mut zj);
+                zj
+            })
+            .collect();
+        for (j, cj) in cols.iter().enumerate() {
+            z.set_col(j, cj);
+        }
+        z
+    }
+}
+
+impl tsunami_linalg::LinearOperator for FftBlockToeplitz {
+    fn nrows(&self) -> usize {
+        self.out_dim * self.nt
+    }
+    fn ncols(&self) -> usize {
+        self.in_dim * self.nt
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_transpose(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_linalg::LinearOperator;
+
+    fn random_toeplitz(nt: usize, out_dim: usize, in_dim: usize, seed: u64) -> BlockToeplitz {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let blocks = (0..nt)
+            .map(|_| {
+                DMatrix::from_fn(out_dim, in_dim, |_, _| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+                })
+            })
+            .collect();
+        BlockToeplitz::new(blocks, out_dim, in_dim)
+    }
+
+    #[test]
+    fn fft_matvec_matches_naive() {
+        for &(nt, od, id) in &[(1, 2, 3), (4, 3, 5), (7, 1, 1), (16, 4, 2), (33, 2, 6)] {
+            let t = random_toeplitz(nt, od, id, (nt * od * id) as u64);
+            let fast = FftBlockToeplitz::from_blocks(&t);
+            let x: Vec<f64> = (0..t.ncols()).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut y1 = vec![0.0; t.nrows()];
+            t.matvec_naive(&x, &mut y1);
+            let mut y2 = vec![0.0; t.nrows()];
+            fast.matvec(&x, &mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-10, "nt={nt} od={od} id={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_transpose_matches_naive() {
+        for &(nt, od, id) in &[(1, 2, 3), (5, 3, 4), (12, 2, 7), (32, 5, 3)] {
+            let t = random_toeplitz(nt, od, id, (nt + od + id) as u64);
+            let fast = FftBlockToeplitz::from_blocks(&t);
+            let w: Vec<f64> = (0..t.nrows()).map(|i| (i as f64 * 0.21).cos()).collect();
+            let mut z1 = vec![0.0; t.ncols()];
+            t.matvec_transpose_naive(&w, &mut z1);
+            let mut z2 = vec![0.0; t.ncols()];
+            fast.matvec_transpose(&w, &mut z2);
+            for (a, b) in z1.iter().zip(&z2) {
+                assert!((a - b).abs() < 1e-10, "nt={nt} od={od} id={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        let t = random_toeplitz(20, 4, 6, 9);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let x: Vec<f64> = (0..t.ncols()).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut y1 = vec![0.0; t.nrows()];
+        fast.matvec(&x, &mut y1);
+        let mut y2 = vec![0.0; t.nrows()];
+        fast.matvec_serial(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let w: Vec<f64> = (0..t.nrows()).map(|i| (i as f64 * 0.53).cos()).collect();
+        let mut z1 = vec![0.0; t.ncols()];
+        fast.matvec_transpose(&w, &mut z1);
+        let mut z2 = vec![0.0; t.ncols()];
+        fast.matvec_transpose_serial(&w, &mut z2);
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmat_matches_column_matvecs() {
+        let t = random_toeplitz(9, 3, 4, 5);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let x = DMatrix::from_fn(t.ncols(), 6, |i, j| ((i + 7 * j) as f64 * 0.19).sin());
+        let y = fast.matmat(&x);
+        for j in 0..6 {
+            let mut yj = vec![0.0; t.nrows()];
+            fast.matvec(&x.col(j), &mut yj);
+            for i in 0..t.nrows() {
+                assert!((y[(i, j)] - yj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn adjoint_identity_fft() {
+        let t = random_toeplitz(11, 4, 3, 6);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let x: Vec<f64> = (0..fast.ncols()).map(|i| (i as f64).sin()).collect();
+        let w: Vec<f64> = (0..fast.nrows()).map(|i| (i as f64).cos()).collect();
+        assert!(tsunami_linalg::operator::adjoint_defect(&fast, &x, &w) < 1e-12);
+    }
+
+    #[test]
+    fn operator_trait_dispatch() {
+        let t = random_toeplitz(3, 2, 2, 8);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let dense = t.to_dense();
+        let od = fast.to_dense();
+        let mut diff = od;
+        diff.add_scaled(-1.0, &dense);
+        assert!(diff.norm_fro() < 1e-10);
+    }
+}

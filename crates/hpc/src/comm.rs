@@ -1,0 +1,139 @@
+//! α–β(–γ) communication model for halo exchanges.
+//!
+//! Each RK4 stage requires one face-neighbor halo exchange of the pressure
+//! trace (the L2 velocity space is discontinuous and needs no exchange under
+//! partial assembly with the mixed operator evaluated element-wise after
+//! gathering p). Message time is `latency + bytes / bandwidth_eff(nodes)`;
+//! the six face directions are assumed to proceed as three non-overlapping
+//! phases of paired sends (the usual structured halo schedule).
+
+use crate::machines::Machine;
+use tsunami_mesh::{Partition, RankGrid};
+
+/// Communication cost model bound to a machine description.
+#[derive(Clone, Copy, Debug)]
+pub struct CommModel {
+    /// The modeled system.
+    pub machine: Machine,
+}
+
+impl CommModel {
+    /// New model for a machine.
+    pub fn new(machine: Machine) -> Self {
+        CommModel { machine }
+    }
+
+    /// Time for one point-to-point message of `bytes`.
+    pub fn message_time(&self, bytes: usize, nodes: usize) -> f64 {
+        self.machine.latency + bytes as f64 / self.machine.effective_bandwidth(nodes, bytes)
+    }
+
+    /// Per-timestep halo exchange time for the busiest rank of `part`,
+    /// with `dofs_per_face` unknowns per shared element face and
+    /// `exchanges_per_step` exchanges (4 RK stages → 4).
+    pub fn halo_time_per_step(
+        &self,
+        part: &Partition,
+        dofs_per_face: usize,
+        exchanges_per_step: usize,
+    ) -> f64 {
+        let nodes = part.grid.n_ranks().div_ceil(self.machine.gpus_per_node);
+        let bytes = part.max_halo_bytes(dofs_per_face);
+        if bytes == 0 {
+            return 0.0;
+        }
+        // Busiest rank exchanges with up to 6 neighbors in 3 paired phases.
+        let per_phase = bytes / 2;
+        let t_exchange = 3.0 * self.message_time(per_phase.max(1), nodes);
+        t_exchange * exchanges_per_step as f64
+    }
+
+    /// Modeled runtime per timestep: per-rank compute plus halo time.
+    pub fn step_time(
+        &self,
+        part: &Partition,
+        dofs_per_elem: usize,
+        dofs_per_face: usize,
+        applications_per_step: usize,
+    ) -> f64 {
+        let local_elems = part
+            .boxes
+            .iter()
+            .map(tsunami_mesh::partition::RankBox::n_elems)
+            .max()
+            .unwrap_or(0);
+        let local_dofs = local_elems * dofs_per_elem;
+        let compute =
+            local_dofs as f64 * self.machine.sec_per_dof_at(local_dofs) * applications_per_step as f64;
+        compute + self.halo_time_per_step(part, dofs_per_face, applications_per_step)
+    }
+
+    /// Convenience: build the auto-tuned partition for `n_ranks` over an
+    /// element grid and return its modeled step time.
+    pub fn step_time_auto(
+        &self,
+        n_ranks: usize,
+        elems: (usize, usize, usize),
+        dofs_per_elem: usize,
+        dofs_per_face: usize,
+        applications_per_step: usize,
+    ) -> f64 {
+        let grid = RankGrid::auto(
+            n_ranks,
+            elems.0,
+            elems.1,
+            elems.2,
+            Some(self.machine.gpus_per_node.min(n_ranks)),
+        );
+        let part = Partition::new(grid, elems.0, elems.1, elems.2);
+        self.step_time(&part, dofs_per_elem, dofs_per_face, applications_per_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::EL_CAPITAN;
+
+    #[test]
+    fn message_time_monotone_in_bytes() {
+        let m = CommModel::new(EL_CAPITAN);
+        assert!(m.message_time(1 << 20, 100) < m.message_time(1 << 24, 100));
+    }
+
+    #[test]
+    fn single_rank_has_zero_halo_time() {
+        let m = CommModel::new(EL_CAPITAN);
+        let part = Partition::new(RankGrid { px: 1, py: 1, pz: 1 }, 16, 16, 16);
+        assert_eq!(m.halo_time_per_step(&part, 25, 4), 0.0);
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_is_high_but_below_one() {
+        // Fixed local size, growing rank count: step time should grow only
+        // by the (small) comm share — the Fig 5 weak-scaling shape.
+        let m = CommModel::new(EL_CAPITAN);
+        let per_rank = 32usize; // 32^3 elems per rank
+        let t1 = m.step_time_auto(4, (per_rank, per_rank, per_rank), 350, 25, 4);
+        let t128 = m.step_time_auto(
+            512,
+            (per_rank * 8, per_rank * 4, per_rank * 4),
+            350,
+            25,
+            4,
+        );
+        let eff = t1 / t128;
+        assert!(eff > 0.7 && eff <= 1.0, "weak efficiency {eff}");
+    }
+
+    #[test]
+    fn strong_scaling_speedup_sublinear() {
+        let m = CommModel::new(EL_CAPITAN);
+        let elems = (128usize, 128usize, 32usize);
+        let t4 = m.step_time_auto(4, elems, 350, 25, 4);
+        let t256 = m.step_time_auto(256, elems, 350, 25, 4);
+        let speedup = t4 / t256;
+        assert!(speedup > 10.0, "speedup {speedup}");
+        assert!(speedup < 64.0, "superlinear speedup is a model bug: {speedup}");
+    }
+}

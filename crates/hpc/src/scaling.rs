@@ -1,0 +1,305 @@
+//! Weak/strong scaling harness — regenerates Fig 5 and the Table II setup.
+//!
+//! A study takes (a) a machine model, (b) the element grid at each scale,
+//! and (c) an optional *measured* per-DOF compute cost obtained by running
+//! the real FEM kernels on the host at the local problem size (rescaled by
+//! the machine's published throughput). It produces runtime-per-timestep,
+//! parallel efficiency, and speedup rows matching the paper's figures.
+
+use crate::comm::CommModel;
+use crate::machines::Machine;
+use tsunami_mesh::{Partition, RankGrid};
+
+/// One row of a scaling study.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Total rank (GPU) count.
+    pub ranks: usize,
+    /// Processor grid used.
+    pub grid: RankGrid,
+    /// Global element count.
+    pub total_elems: usize,
+    /// Elements on the busiest rank.
+    pub local_elems: usize,
+    /// Global DOF count.
+    pub total_dofs: usize,
+    /// Modeled compute seconds per timestep.
+    pub compute_s: f64,
+    /// Modeled communication seconds per timestep.
+    pub comm_s: f64,
+}
+
+impl ScalingPoint {
+    /// Runtime per timestep.
+    pub fn step_time(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// A weak- or strong-scaling study over a list of rank counts.
+pub struct ScalingStudy {
+    /// The machine being modeled.
+    pub machine: Machine,
+    /// Study rows in increasing rank order.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// How the per-rank compute time is obtained.
+pub enum ComputeCost<'a> {
+    /// Use the machine's published Fused-PA DOF throughput.
+    MachineThroughput,
+    /// `f(local_dofs) → seconds per operator application on one rank`,
+    /// e.g. a closure that actually runs the host kernels and rescales.
+    Measured(&'a dyn Fn(usize) -> f64),
+}
+
+impl ScalingStudy {
+    /// Weak scaling: fixed `elems_per_rank`, ranks grow. The element grid at
+    /// each scale matches the processor grid so every rank gets exactly the
+    /// base box (the paper's setup: 4,980,736 elems/GPU at every scale).
+    pub fn weak(
+        machine: Machine,
+        base_box: (usize, usize, usize),
+        rank_counts: &[usize],
+        dofs_per_elem: usize,
+        dofs_per_face: usize,
+        applications_per_step: usize,
+        cost: ComputeCost,
+    ) -> Self {
+        let comm = CommModel::new(machine);
+        let points = rank_counts
+            .iter()
+            .map(|&n| {
+                let grid = RankGrid::auto(
+                    n,
+                    base_box.0 * n, // generous caps; auto() only needs feasibility
+                    base_box.1 * n,
+                    base_box.2 * n,
+                    Some(machine.gpus_per_node.min(n)),
+                );
+                let elems = (
+                    base_box.0 * grid.px,
+                    base_box.1 * grid.py,
+                    base_box.2 * grid.pz,
+                );
+                let part = Partition::new(grid, elems.0, elems.1, elems.2);
+                Self::make_point(
+                    &comm,
+                    part,
+                    dofs_per_elem,
+                    dofs_per_face,
+                    applications_per_step,
+                    &cost,
+                )
+            })
+            .collect();
+        ScalingStudy { machine, points }
+    }
+
+    /// Strong scaling: fixed global `elems`, ranks grow.
+    pub fn strong(
+        machine: Machine,
+        elems: (usize, usize, usize),
+        rank_counts: &[usize],
+        dofs_per_elem: usize,
+        dofs_per_face: usize,
+        applications_per_step: usize,
+        cost: ComputeCost,
+    ) -> Self {
+        let comm = CommModel::new(machine);
+        let points = rank_counts
+            .iter()
+            .map(|&n| {
+                let grid = RankGrid::auto(
+                    n,
+                    elems.0,
+                    elems.1,
+                    elems.2,
+                    Some(machine.gpus_per_node.min(n)),
+                );
+                let part = Partition::new(grid, elems.0, elems.1, elems.2);
+                Self::make_point(
+                    &comm,
+                    part,
+                    dofs_per_elem,
+                    dofs_per_face,
+                    applications_per_step,
+                    &cost,
+                )
+            })
+            .collect();
+        ScalingStudy { machine, points }
+    }
+
+    fn make_point(
+        comm: &CommModel,
+        part: Partition,
+        dofs_per_elem: usize,
+        dofs_per_face: usize,
+        applications_per_step: usize,
+        cost: &ComputeCost,
+    ) -> ScalingPoint {
+        let local_elems = part
+            .boxes
+            .iter()
+            .map(tsunami_mesh::partition::RankBox::n_elems)
+            .max()
+            .unwrap_or(0);
+        let total_elems = part.elems.0 * part.elems.1 * part.elems.2;
+        let local_dofs = local_elems * dofs_per_elem;
+        let compute_s = match cost {
+            ComputeCost::MachineThroughput => {
+                local_dofs as f64
+                    * comm.machine.sec_per_dof_at(local_dofs)
+                    * applications_per_step as f64
+            }
+            ComputeCost::Measured(f) => f(local_dofs) * applications_per_step as f64,
+        };
+        let comm_s = comm.halo_time_per_step(&part, dofs_per_face, applications_per_step);
+        ScalingPoint {
+            ranks: part.grid.n_ranks(),
+            grid: part.grid,
+            total_elems,
+            local_elems,
+            total_dofs: total_elems * dofs_per_elem,
+            compute_s,
+            comm_s,
+        }
+    }
+
+    /// Weak parallel efficiency of each point relative to the first.
+    pub fn weak_efficiency(&self) -> Vec<f64> {
+        let t0 = self.points[0].step_time();
+        self.points.iter().map(|p| t0 / p.step_time()).collect()
+    }
+
+    /// Strong speedup and efficiency relative to the first point.
+    pub fn strong_speedup(&self) -> Vec<(f64, f64)> {
+        let t0 = self.points[0].step_time();
+        let n0 = self.points[0].ranks as f64;
+        self.points
+            .iter()
+            .map(|p| {
+                let speedup = t0 / p.step_time();
+                let eff = speedup / (p.ranks as f64 / n0);
+                (speedup, eff)
+            })
+            .collect()
+    }
+
+    /// Render a Fig 5-style table.
+    pub fn report(&self, kind: &str) -> String {
+        let mut out = format!(
+            "{} {} scaling\n{:>8} {:>14} {:>16} {:>14} {:>12} {:>12} {:>10}\n",
+            self.machine.name, kind, "GPUs", "grid", "total DOF", "DOF/GPU", "compute(s)", "comm(s)", "step(s)"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>8} {:>14} {:>16.3e} {:>14.3e} {:>12.5} {:>12.6} {:>10.5}\n",
+                p.ranks,
+                format!("{}x{}x{}", p.grid.px, p.grid.py, p.grid.pz),
+                p.total_dofs as f64,
+                p.total_dofs as f64 / p.ranks as f64,
+                p.compute_s,
+                p.comm_s,
+                p.step_time()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{ALPS, EL_CAPITAN};
+
+    #[test]
+    fn weak_study_keeps_local_size_constant() {
+        let s = ScalingStudy::weak(
+            EL_CAPITAN,
+            (16, 16, 16),
+            &[4, 32, 256],
+            350,
+            25,
+            4,
+            ComputeCost::MachineThroughput,
+        );
+        let l0 = s.points[0].local_elems;
+        for p in &s.points {
+            assert_eq!(p.local_elems, l0);
+        }
+    }
+
+    #[test]
+    fn weak_efficiency_decreases_but_stays_high() {
+        let s = ScalingStudy::weak(
+            EL_CAPITAN,
+            (32, 32, 16),
+            &[4, 32, 256, 2048],
+            350,
+            25,
+            4,
+            ComputeCost::MachineThroughput,
+        );
+        let eff = s.weak_efficiency();
+        assert!((eff[0] - 1.0).abs() < 1e-12);
+        for w in eff.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "efficiency should not increase: {eff:?}");
+        }
+        assert!(*eff.last().unwrap() > 0.6, "{eff:?}");
+    }
+
+    #[test]
+    fn strong_speedup_meaningful() {
+        let s = ScalingStudy::strong(
+            ALPS,
+            (128, 256, 32),
+            &[4, 16, 64, 256],
+            350,
+            25,
+            4,
+            ComputeCost::MachineThroughput,
+        );
+        let su = s.strong_speedup();
+        assert!((su[0].0 - 1.0).abs() < 1e-12);
+        assert!(su[3].0 > 8.0, "speedup {su:?}");
+        assert!(su[3].1 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn measured_cost_is_used() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let f = |dofs: usize| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            dofs as f64 * 1e-9
+        };
+        let s = ScalingStudy::weak(
+            EL_CAPITAN,
+            (8, 8, 8),
+            &[4, 8],
+            100,
+            25,
+            4,
+            ComputeCost::Measured(&f),
+        );
+        assert!(calls.load(std::sync::atomic::Ordering::Relaxed) >= 2);
+        assert!(s.points[0].compute_s > 0.0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = ScalingStudy::weak(
+            EL_CAPITAN,
+            (8, 8, 8),
+            &[4],
+            100,
+            25,
+            4,
+            ComputeCost::MachineThroughput,
+        );
+        let r = s.report("weak");
+        assert!(r.contains("El Capitan"));
+        assert!(r.contains("GPUs"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Wall-clock timer registry — the Table I instrumentation.
+//!
+//! The paper times four application sections (Initialization, Setup,
+//! Adjoint p2o/p2q, I/O) with POSIX clocks after device synchronization and
+//! an `MPI_Barrier`. Here a [`TimerRegistry`] accumulates named sections
+//! (insertion-ordered so reports match the paper's table layout) and can
+//! render the percentage breakdown used in Fig 6.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accumulating named wall-clock timers.
+#[derive(Default)]
+pub struct TimerRegistry {
+    // Insertion-ordered (name, total, calls).
+    entries: Mutex<Vec<(String, Duration, u64)>>,
+}
+
+impl TimerRegistry {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure under `name`, accumulating across calls.
+    /// # Example
+    ///
+    /// ```
+    /// use tsunami_hpc::TimerRegistry;
+    /// let timers = TimerRegistry::new();
+    /// let answer = timers.time("Adjoint p2o", || 6 * 7);
+    /// assert_eq!(answer, 42);
+    /// assert_eq!(timers.calls("Adjoint p2o"), 1);
+    /// assert!(timers.seconds("Adjoint p2o") >= 0.0);
+    /// ```
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed());
+        out
+    }
+
+    /// Manually add elapsed time to `name`.
+    pub fn add(&self, name: &str, d: Duration) {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.iter_mut().find(|(n, _, _)| n == name) {
+            e.1 += d;
+            e.2 += 1;
+        } else {
+            entries.push((name.to_string(), d, 1));
+        }
+    }
+
+    /// Total accumulated time for `name` in seconds (0 if absent).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.entries
+            .lock()
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, d, _)| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Number of times `name` was recorded.
+    pub fn calls(&self, name: &str) -> u64 {
+        self.entries
+            .lock()
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all timers in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries
+            .lock()
+            .iter()
+            .map(|(_, d, _)| d.as_secs_f64())
+            .sum()
+    }
+
+    /// Snapshot of `(name, seconds, calls)` rows in insertion order.
+    pub fn snapshot(&self) -> Vec<(String, f64, u64)> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|(n, d, c)| (n.clone(), d.as_secs_f64(), *c))
+            .collect()
+    }
+
+    /// Render an aligned table with percentages of total — the Fig 6 format.
+    pub fn report(&self) -> String {
+        let rows = self.snapshot();
+        let total: f64 = rows.iter().map(|r| r.1).sum();
+        let mut out = String::from("Timer                          Seconds      Calls   % of total\n");
+        for (name, secs, calls) in &rows {
+            let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+            out.push_str(&format!("{name:<28} {secs:>10.4}  {calls:>8}   {pct:>8.2}%\n"));
+        }
+        out.push_str(&format!("{:<28} {total:>10.4}\n", "TOTAL"));
+        out
+    }
+
+    /// Reset all timers.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// Measure one closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_calls() {
+        let reg = TimerRegistry::new();
+        reg.time("a", || std::thread::sleep(Duration::from_millis(2)));
+        reg.time("a", || std::thread::sleep(Duration::from_millis(2)));
+        assert!(reg.seconds("a") >= 0.004);
+        assert_eq!(reg.calls("a"), 2);
+    }
+
+    #[test]
+    fn absent_timer_is_zero() {
+        let reg = TimerRegistry::new();
+        assert_eq!(reg.seconds("nope"), 0.0);
+        assert_eq!(reg.calls("nope"), 0);
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let reg = TimerRegistry::new();
+        reg.add("Initialization", Duration::from_millis(1));
+        reg.add("Setup", Duration::from_millis(1));
+        reg.add("Adjoint p2o", Duration::from_millis(1));
+        reg.add("I/O", Duration::from_millis(1));
+        let names: Vec<String> = reg.snapshot().into_iter().map(|r| r.0).collect();
+        assert_eq!(names, vec!["Initialization", "Setup", "Adjoint p2o", "I/O"]);
+    }
+
+    #[test]
+    fn report_contains_rows_and_total() {
+        let reg = TimerRegistry::new();
+        reg.add("Setup", Duration::from_millis(10));
+        let rep = reg.report();
+        assert!(rep.contains("Setup"));
+        assert!(rep.contains("TOTAL"));
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, s) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+    #[test]
+    fn concurrent_timers_accumulate_all_calls() {
+        // Phase 1 times adjoint solves from parallel workers; counts and
+        // durations must survive arbitrary interleavings.
+        let t = TimerRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = &t;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        t.time("solver", || std::hint::black_box(3 * 7));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.calls("solver"), 400);
+        assert!(t.seconds("solver") >= 0.0);
+        assert!(t.total_seconds() >= t.seconds("solver"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Complex double-precision arithmetic for the FFT machinery.
+//!
+//! A deliberate 16-byte `#[repr(C)]` value type so that `Vec<C64>` has the
+//! same memory layout as the interleaved complex buffers cuFFT/rocFFT
+//! operate on in the paper's FFTMatvec code.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Construct a purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — point on the unit circle, used for FFT twiddle factors.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` (no sqrt).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Fused multiply-add: `self + a*b`. The hot inner op of the
+    /// per-frequency block matmuls.
+    #[inline]
+    pub fn mul_add(self, a: C64, b: C64) -> Self {
+        C64 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    // z/w as z * w^{-1}: the standard complex-division formula.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, o: C64) -> C64 {
+        self * o.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, s: f64) -> C64 {
+        self.scale(s)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> C64 {
+        C64::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert_eq!(a + b, C64::new(-2.0, 2.5));
+        assert_eq!(a * C64::ONE, a);
+        let ab = a * b;
+        let ba = b * a;
+        assert!((ab - ba).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let z = C64::new(3.0, -4.0);
+        let w = z * z.inv();
+        assert!((w - C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let z = C64::cis(k as f64 * 0.39269908169872414);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn conj_mul_is_norm() {
+        let z = C64::new(2.0, 5.0);
+        let n = z * z.conj();
+        assert!((n.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(n.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_add_matches_expanded() {
+        let acc = C64::new(0.5, -0.25);
+        let a = C64::new(1.5, 2.0);
+        let b = C64::new(-0.75, 3.0);
+        let fused = acc.mul_add(a, b);
+        let plain = acc + a * b;
+        assert!((fused - plain).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense linear algebra substrate for the Cascadia tsunami digital twin.
+//!
+//! The paper's Phases 2–4 lean on vendor dense libraries (cuBLAS for batched
+//! matmuls, cuSOLVERMp for the Cholesky factorization of the data-space
+//! Hessian `K`, cuDSS for sparse prior solves). This crate provides the
+//! CPU stand-ins, built from scratch:
+//!
+//! - [`DMatrix`]: row-major dense matrices with blocked, rayon-parallel
+//!   multiplication kernels,
+//! - [`Cholesky`]: blocked right-looking Cholesky factorization with
+//!   multi-RHS triangular solves,
+//! - [`C64`]: complex double arithmetic used by the FFT crate,
+//! - [`LinearOperator`]: the matrix-free operator abstraction shared by the
+//!   PDE solver, the Toeplitz machinery, and the Bayesian solvers,
+//! - [`cg`]: preconditioned conjugate gradients (the state-of-the-art
+//!   baseline inversion algorithm of §IV of the paper),
+//! - [`random`]: seedable Gaussian sampling (Box–Muller) used for priors,
+//!   measurement noise, and randomized diagnostics.
+
+// Numeric kernels use index loops that mirror the tensor/math indices
+// of the discretizations; enumerate()-style rewrites obscure the formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cg;
+pub mod cholesky;
+pub mod eigen;
+pub mod complex;
+pub mod matrix;
+pub mod operator;
+pub mod random;
+pub mod vec_ops;
+
+pub use cg::{cg_solve, CgOptions, CgResult};
+pub use cholesky::Cholesky;
+pub use eigen::{effective_rank, symmetric_eigenvalues};
+pub use complex::C64;
+pub use matrix::DMatrix;
+pub use operator::{DenseOperator, DiagonalOperator, IdentityOperator, LinearOperator};

@@ -1,0 +1,194 @@
+//! The matrix-free linear operator abstraction.
+//!
+//! Everything in the inversion framework — the p2o map `F`, the prior
+//! covariance `Γprior`, the Hessian, the Toeplitz FFT machinery — acts on
+//! vectors without ever being materialized. This trait is the common
+//! currency between those pieces and the Krylov solvers.
+
+use crate::matrix::DMatrix;
+
+/// A real linear map `R^{ncols} → R^{nrows}` with optional transpose action.
+pub trait LinearOperator: Sync {
+    /// Output dimension.
+    fn nrows(&self) -> usize;
+    /// Input dimension.
+    fn ncols(&self) -> usize;
+    /// `y = A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// `y = Aᵀ x`. Default panics; operators used in adjoint position must
+    /// override.
+    fn apply_transpose(&self, _x: &[f64], _y: &mut [f64]) {
+        panic!("apply_transpose not implemented for this operator");
+    }
+
+    /// Convenience allocating apply.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows()];
+        self.apply(x, &mut y);
+        y
+    }
+
+    /// Materialize the operator column-by-column into a dense matrix.
+    /// Exponential cost in the dimension — for tests and small dense cross
+    /// checks only.
+    fn to_dense(&self) -> DMatrix {
+        let (m, n) = (self.nrows(), self.ncols());
+        let mut a = DMatrix::zeros(m, n);
+        let mut e = vec![0.0; n];
+        let mut col = vec![0.0; m];
+        for j in 0..n {
+            e[j] = 1.0;
+            self.apply(&e, &mut col);
+            a.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        a
+    }
+}
+
+/// Dense matrix as an operator.
+pub struct DenseOperator {
+    /// Underlying matrix.
+    pub mat: DMatrix,
+}
+
+impl DenseOperator {
+    /// Wrap a dense matrix.
+    pub fn new(mat: DMatrix) -> Self {
+        DenseOperator { mat }
+    }
+}
+
+impl LinearOperator for DenseOperator {
+    fn nrows(&self) -> usize {
+        self.mat.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.mat.ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.mat.matvec(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.mat.matvec_t(x, y);
+    }
+}
+
+/// Identity operator (trivial preconditioner).
+pub struct IdentityOperator {
+    /// Dimension.
+    pub n: usize,
+}
+
+impl LinearOperator for IdentityOperator {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+    fn ncols(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// Diagonal operator, e.g. the noise covariance `Γnoise = σ² I` or a Jacobi
+/// preconditioner.
+pub struct DiagonalOperator {
+    /// Diagonal entries.
+    pub d: Vec<f64>,
+}
+
+impl DiagonalOperator {
+    /// Build from diagonal entries.
+    pub fn new(d: Vec<f64>) -> Self {
+        DiagonalOperator { d }
+    }
+
+    /// Constant diagonal `c·I` of dimension `n`.
+    pub fn constant(c: f64, n: usize) -> Self {
+        DiagonalOperator { d: vec![c; n] }
+    }
+
+    /// Inverse diagonal operator.
+    pub fn inverse(&self) -> Self {
+        DiagonalOperator {
+            d: self.d.iter().map(|&v| 1.0 / v).collect(),
+        }
+    }
+}
+
+impl LinearOperator for DiagonalOperator {
+    fn nrows(&self) -> usize {
+        self.d.len()
+    }
+    fn ncols(&self) -> usize {
+        self.d.len()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for ((yi, xi), di) in y.iter_mut().zip(x).zip(&self.d) {
+            *yi = xi * di;
+        }
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.apply(x, y);
+    }
+}
+
+/// Adjoint-consistency check `⟨A x, w⟩ ≈ ⟨x, Aᵀ w⟩` on given probe vectors;
+/// returns the relative defect. The workhorse test for every operator in the
+/// framework (the paper's adjoint PDE solves must satisfy this to machine
+/// precision for the Toeplitz construction to be exact).
+pub fn adjoint_defect<A: LinearOperator + ?Sized>(a: &A, x: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(w.len(), a.nrows());
+    let mut ax = vec![0.0; a.nrows()];
+    a.apply(x, &mut ax);
+    let mut atw = vec![0.0; a.ncols()];
+    a.apply_transpose(w, &mut atw);
+    let lhs = crate::vec_ops::dot(&ax, w);
+    let rhs = crate::vec_ops::dot(x, &atw);
+    (lhs - rhs).abs() / lhs.abs().max(rhs.abs()).max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_operator_adjoint_exact() {
+        let a = DMatrix::from_fn(7, 5, |i, j| ((i * 5 + j) as f64 * 0.37).sin());
+        let op = DenseOperator::new(a);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 + 1.0).collect();
+        let w: Vec<f64> = (0..7).map(|i| (i as f64).cos()).collect();
+        assert!(adjoint_defect(&op, &x, &w) < 1e-14);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let a = DMatrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64);
+        let op = DenseOperator::new(a.clone());
+        assert_eq!(op.to_dense(), a);
+    }
+
+    #[test]
+    fn diagonal_inverse() {
+        let d = DiagonalOperator::new(vec![2.0, 4.0]);
+        let di = d.inverse();
+        let mut y = vec![0.0; 2];
+        di.apply(&[2.0, 4.0], &mut y);
+        assert_eq!(y, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_noop() {
+        let id = IdentityOperator { n: 3 };
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        id.apply(&x, &mut y);
+        assert_eq!(x, y);
+    }
+}

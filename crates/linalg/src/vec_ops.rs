@@ -1,0 +1,175 @@
+//! Level-1 vector kernels with serial and rayon-parallel variants.
+//!
+//! The parallel variants use fixed chunking so results are deterministic for
+//! a given thread split; tests that compare serial vs parallel use a small
+//! tolerance to absorb the different summation orders.
+
+use rayon::prelude::*;
+
+/// Minimum length before the parallel variants fan out to the thread pool.
+/// Below this, rayon overhead dominates the memory-bound kernel.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Parallel dot product; pairwise over chunks for better rounding behaviour.
+pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
+    if x.len() < PAR_THRESHOLD {
+        return dot(x, y);
+    }
+    x.par_chunks(PAR_THRESHOLD)
+        .zip(y.par_chunks(PAR_THRESHOLD))
+        .map(|(a, b)| dot(a, b))
+        .sum()
+}
+
+/// `y ← y + alpha x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Parallel `y ← y + alpha x`.
+pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
+    if x.len() < PAR_THRESHOLD {
+        return axpy(alpha, x, y);
+    }
+    y.par_chunks_mut(PAR_THRESHOLD)
+        .zip(x.par_chunks(PAR_THRESHOLD))
+        .for_each(|(yc, xc)| axpy(alpha, xc, yc));
+}
+
+/// `y ← alpha x + beta y`.
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `x ← alpha x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Parallel Euclidean norm.
+pub fn par_norm2(x: &[f64]) -> f64 {
+    par_dot(x, x).sqrt()
+}
+
+/// Max norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// Relative L2 distance `‖x − y‖ / ‖y‖` (or absolute norm if `y = 0`).
+pub fn rel_err(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "rel_err: length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Componentwise `z ← x ⊙ y` (Hadamard product).
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi * yi;
+    }
+}
+
+/// Set all entries to zero.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    x.iter_mut().for_each(|v| *v = 0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn par_dot_matches_serial() {
+        let n = PAR_THRESHOLD * 3 + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).cos()).collect();
+        let s = dot(&x, &y);
+        let p = par_dot(&x, &y);
+        assert!((s - p).abs() <= 1e-9 * s.abs().max(1.0), "{s} vs {p}");
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn par_axpy_matches_serial() {
+        let n = PAR_THRESHOLD * 2 + 5;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y1: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+        let mut y2 = y1.clone();
+        axpy(-0.5, &x, &mut y1);
+        par_axpy(-0.5, &x, &mut y2);
+        assert_eq!(y1, y2); // elementwise: exact equality expected
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn rel_err_zero_for_equal() {
+        let x = [1.0, -2.0, 3.5];
+        assert_eq!(rel_err(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let x = [1.0, 2.0];
+        let mut y = [3.0, 4.0];
+        axpby(2.0, &x, 0.5, &mut y);
+        assert_eq!(y, [3.5, 6.0]);
+    }
+}

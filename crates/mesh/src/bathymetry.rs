@@ -1,0 +1,114 @@
+//! Analytic bathymetry models standing in for GEBCO gridded data.
+//!
+//! Coordinates: `x` is cross-margin (0 at the trench-side/offshore boundary,
+//! increasing toward the coast), `y` is along-strike (south → north), both in
+//! meters. Depth is returned positive, in meters.
+
+/// A seafloor depth field `depth(x, y) > 0`.
+pub trait Bathymetry: Sync {
+    /// Water-column depth at horizontal position `(x, y)`, meters, positive.
+    fn depth(&self, x: f64, y: f64) -> f64;
+}
+
+/// Constant-depth ocean — the analytic test case (dispersion relations,
+/// travel-time checks are exact here).
+#[derive(Clone, Debug)]
+pub struct FlatBathymetry {
+    /// Uniform depth in meters.
+    pub depth: f64,
+}
+
+impl Bathymetry for FlatBathymetry {
+    fn depth(&self, _x: f64, _y: f64) -> f64 {
+        self.depth
+    }
+}
+
+/// Cascadia-like margin profile: abyssal plain and trench offshore, a
+/// continental slope, and a shallow shelf toward the coast, with smooth
+/// along-strike undulation mimicking the Explorer/Juan de Fuca/Gorda
+/// segmentation.
+#[derive(Clone, Debug)]
+pub struct CascadiaBathymetry {
+    /// Cross-margin extent (m); the shelf edge sits at `0.75 · lx`.
+    pub lx: f64,
+    /// Along-strike extent (m).
+    pub ly: f64,
+    /// Depth of the abyssal plain near the trench (m), e.g. 2800.
+    pub deep: f64,
+    /// Depth over the continental shelf (m), e.g. 200.
+    pub shallow: f64,
+    /// Amplitude of along-strike depth undulation (m), e.g. 150.
+    pub undulation: f64,
+}
+
+impl CascadiaBathymetry {
+    /// The default margin used by the scaled experiments: a 1000 km-long,
+    /// 250 km-wide strip, 2.8 km deep offshore shoaling to 150 m at the
+    /// shelf, with three along-strike segments.
+    pub fn standard(lx: f64, ly: f64) -> Self {
+        CascadiaBathymetry {
+            lx,
+            ly,
+            deep: 2800.0,
+            shallow: 150.0,
+            undulation: 150.0,
+        }
+    }
+}
+
+impl Bathymetry for CascadiaBathymetry {
+    fn depth(&self, x: f64, y: f64) -> f64 {
+        let xi = (x / self.lx).clamp(0.0, 1.0);
+        let eta = (y / self.ly).clamp(0.0, 1.0);
+        // Smooth ramp from `deep` to `shallow`, slope centered at xi = 0.7.
+        let s = 0.5 * (1.0 + ((xi - 0.7) / 0.08).tanh());
+        let base = self.deep * (1.0 - s) + self.shallow * s;
+        // Gentle trench deepening right at the offshore edge.
+        let trench = 0.15 * self.deep * (-(xi / 0.05).powi(2)).exp();
+        // Along-strike segmentation (three lobes like Explorer/JdF/Gorda).
+        let lobes = self.undulation * (3.0 * std::f64::consts::PI * eta).sin() * (1.0 - s);
+        (base + trench + lobes).max(0.2 * self.shallow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_flat() {
+        let b = FlatBathymetry { depth: 2500.0 };
+        assert_eq!(b.depth(0.0, 0.0), 2500.0);
+        assert_eq!(b.depth(1e6, -3e5), 2500.0);
+    }
+
+    #[test]
+    fn cascadia_deep_offshore_shallow_onshore() {
+        let b = CascadiaBathymetry::standard(250e3, 1000e3);
+        let offshore = b.depth(10e3, 500e3);
+        let nearshore = b.depth(245e3, 500e3);
+        assert!(offshore > 2000.0, "offshore {offshore}");
+        assert!(nearshore < 400.0, "nearshore {nearshore}");
+        assert!(offshore > nearshore);
+    }
+
+    #[test]
+    fn cascadia_always_positive() {
+        let b = CascadiaBathymetry::standard(250e3, 1000e3);
+        for i in 0..50 {
+            for j in 0..50 {
+                let d = b.depth(i as f64 * 5e3, j as f64 * 20e3);
+                assert!(d > 0.0, "non-positive depth at ({i},{j}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cascadia_varies_along_strike_offshore() {
+        let b = CascadiaBathymetry::standard(250e3, 1000e3);
+        let d1 = b.depth(50e3, 160e3);
+        let d2 = b.depth(50e3, 500e3);
+        assert!((d1 - d2).abs() > 1.0, "no along-strike variation: {d1} vs {d2}");
+    }
+}

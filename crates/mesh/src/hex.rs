@@ -1,0 +1,430 @@
+//! Terrain-following structured hexahedral mesh.
+//!
+//! Elements are logically `(i, j, k)` with `i` fastest; within an element,
+//! local vertices follow the same tensor convention (`x` fastest, then `y`,
+//! then `z`), matching the tensor-product basis ordering in `tsunami-fem`.
+//! The reference element is `[-1, 1]³`.
+
+use crate::bathymetry::Bathymetry;
+
+/// Which part of `∂Ω` a boundary face belongs to (eq. (1) of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BoundaryTag {
+    /// Sea surface `∂Ωs` (z = 0): free-surface gravity condition.
+    Surface,
+    /// Seafloor `∂Ωb`: parameter (seafloor velocity) forcing.
+    Bottom,
+    /// Lateral boundaries `∂Ωa`: absorbing impedance condition.
+    Absorbing,
+}
+
+/// A boundary face of the mesh: element, local face id (0..6 in -x,+x,-y,
+/// +y,-z,+z order), and tag.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryFace {
+    /// Owning element index.
+    pub elem: usize,
+    /// Local face: 0=-x, 1=+x, 2=-y, 3=+y, 4=-z (bottom), 5=+z (top).
+    pub local_face: usize,
+    /// Part of the boundary.
+    pub tag: BoundaryTag,
+}
+
+/// Structured `nx × ny × nz` hexahedral mesh with terrain-following z.
+pub struct HexMesh {
+    /// Elements across the margin (x).
+    pub nx: usize,
+    /// Elements along strike (y).
+    pub ny: usize,
+    /// Elements through the water column (z).
+    pub nz: usize,
+    /// Horizontal extents (m).
+    pub lx: f64,
+    /// Along-strike extent (m).
+    pub ly: f64,
+    /// Vertex coordinates, `(nx+1)(ny+1)(nz+1)` entries, x-fastest ordering.
+    pub verts: Vec<[f64; 3]>,
+    /// Boundary faces with tags.
+    pub boundary: Vec<BoundaryFace>,
+}
+
+impl HexMesh {
+    /// Build a terrain-following mesh over `[0,lx] × [0,ly]`, with `nz`
+    /// layers from the seafloor `z = −depth(x,y)` to the surface `z = 0`.
+    /// # Example
+    ///
+    /// ```
+    /// use tsunami_mesh::{FlatBathymetry, HexMesh};
+    /// let mesh = HexMesh::terrain_following(4, 3, 2, 8000.0, 6000.0, &FlatBathymetry { depth: 500.0 });
+    /// assert_eq!(mesh.n_elems(), 4 * 3 * 2);
+    /// // The bottom of the column sits on the seafloor.
+    /// let p = mesh.map_point(mesh.elem_id(0, 0, 0), 0.0, 0.0, -1.0);
+    /// assert!((p[2] + 500.0).abs() < 1e-9);
+    /// ```
+    pub fn terrain_following(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        lx: f64,
+        ly: f64,
+        bath: &dyn Bathymetry,
+    ) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1);
+        let (nvx, nvy, nvz) = (nx + 1, ny + 1, nz + 1);
+        let mut verts = Vec::with_capacity(nvx * nvy * nvz);
+        for k in 0..nvz {
+            let zeta = k as f64 / nz as f64; // 0 at bottom, 1 at surface
+            for j in 0..nvy {
+                let y = ly * j as f64 / ny as f64;
+                for i in 0..nvx {
+                    let x = lx * i as f64 / nx as f64;
+                    let d = bath.depth(x, y);
+                    verts.push([x, y, -d * (1.0 - zeta)]);
+                }
+            }
+        }
+        let mut boundary = Vec::new();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let e = (k * ny + j) * nx + i;
+                    if i == 0 {
+                        boundary.push(BoundaryFace { elem: e, local_face: 0, tag: BoundaryTag::Absorbing });
+                    }
+                    if i == nx - 1 {
+                        boundary.push(BoundaryFace { elem: e, local_face: 1, tag: BoundaryTag::Absorbing });
+                    }
+                    if j == 0 {
+                        boundary.push(BoundaryFace { elem: e, local_face: 2, tag: BoundaryTag::Absorbing });
+                    }
+                    if j == ny - 1 {
+                        boundary.push(BoundaryFace { elem: e, local_face: 3, tag: BoundaryTag::Absorbing });
+                    }
+                    if k == 0 {
+                        boundary.push(BoundaryFace { elem: e, local_face: 4, tag: BoundaryTag::Bottom });
+                    }
+                    if k == nz - 1 {
+                        boundary.push(BoundaryFace { elem: e, local_face: 5, tag: BoundaryTag::Surface });
+                    }
+                }
+            }
+        }
+        HexMesh { nx, ny, nz, lx, ly, verts, boundary }
+    }
+
+    /// Total element count.
+    pub fn n_elems(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Total vertex count.
+    pub fn n_verts(&self) -> usize {
+        (self.nx + 1) * (self.ny + 1) * (self.nz + 1)
+    }
+
+    /// Element index from logical coordinates.
+    #[inline]
+    pub fn elem_id(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Logical coordinates of an element.
+    #[inline]
+    pub fn elem_ijk(&self, e: usize) -> (usize, usize, usize) {
+        let i = e % self.nx;
+        let j = (e / self.nx) % self.ny;
+        let k = e / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Vertex index from logical coordinates.
+    #[inline]
+    pub fn vert_id(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * (self.ny + 1) + j) * (self.nx + 1) + i
+    }
+
+    /// The 8 vertex ids of an element, tensor order (x fastest, then y, z).
+    pub fn elem_vertices(&self, e: usize) -> [usize; 8] {
+        let (i, j, k) = self.elem_ijk(e);
+        [
+            self.vert_id(i, j, k),
+            self.vert_id(i + 1, j, k),
+            self.vert_id(i, j + 1, k),
+            self.vert_id(i + 1, j + 1, k),
+            self.vert_id(i, j, k + 1),
+            self.vert_id(i + 1, j, k + 1),
+            self.vert_id(i, j + 1, k + 1),
+            self.vert_id(i + 1, j + 1, k + 1),
+        ]
+    }
+
+    /// The 8 vertex coordinates of an element.
+    pub fn elem_coords(&self, e: usize) -> [[f64; 3]; 8] {
+        let vids = self.elem_vertices(e);
+        let mut out = [[0.0; 3]; 8];
+        for (o, &v) in out.iter_mut().zip(&vids) {
+            *o = self.verts[v];
+        }
+        out
+    }
+
+    /// Trilinear geometric map: physical coordinates of reference point
+    /// `(xi, eta, zeta) ∈ [-1,1]³` inside element `e`.
+    pub fn map_point(&self, e: usize, xi: f64, eta: f64, zeta: f64) -> [f64; 3] {
+        let coords = self.elem_coords(e);
+        let sx = [0.5 * (1.0 - xi), 0.5 * (1.0 + xi)];
+        let sy = [0.5 * (1.0 - eta), 0.5 * (1.0 + eta)];
+        let sz = [0.5 * (1.0 - zeta), 0.5 * (1.0 + zeta)];
+        let mut p = [0.0; 3];
+        for dk in 0..2 {
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let w = sx[di] * sy[dj] * sz[dk];
+                    let v = coords[dk * 4 + dj * 2 + di];
+                    p[0] += w * v[0];
+                    p[1] += w * v[1];
+                    p[2] += w * v[2];
+                }
+            }
+        }
+        p
+    }
+
+    /// Jacobian `∂x/∂ξ` of the trilinear map at a reference point.
+    pub fn jacobian(&self, e: usize, xi: f64, eta: f64, zeta: f64) -> [[f64; 3]; 3] {
+        let coords = self.elem_coords(e);
+        let sx = [0.5 * (1.0 - xi), 0.5 * (1.0 + xi)];
+        let sy = [0.5 * (1.0 - eta), 0.5 * (1.0 + eta)];
+        let sz = [0.5 * (1.0 - zeta), 0.5 * (1.0 + zeta)];
+        let dx = [-0.5, 0.5];
+        let mut jac = [[0.0; 3]; 3]; // jac[a][b] = dx_a/dxi_b
+        for dk in 0..2 {
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let v = coords[dk * 4 + dj * 2 + di];
+                    let gw = [
+                        dx[di] * sy[dj] * sz[dk],
+                        sx[di] * dx[dj] * sz[dk],
+                        sx[di] * sy[dj] * dx[dk],
+                    ];
+                    for a in 0..3 {
+                        for b in 0..3 {
+                            jac[a][b] += v[a] * gw[b];
+                        }
+                    }
+                }
+            }
+        }
+        jac
+    }
+
+    /// Locate the element containing physical point `(x, y, z)` and its
+    /// reference coordinates. Exploits the terrain-following structure:
+    /// `(x, y)` determine the column directly; `z` is linear in `ζ` within
+    /// an element at fixed `(ξ, η)`.
+    ///
+    /// Returns `None` if the point lies outside the mesh (beyond a small
+    /// tolerance).
+    pub fn locate_point(&self, x: f64, y: f64, z: f64) -> Option<(usize, [f64; 3])> {
+        let hx = self.lx / self.nx as f64;
+        let hy = self.ly / self.ny as f64;
+        let fx = x / hx;
+        let fy = y / hy;
+        let tol = 1e-9;
+        if fx < -tol || fx > self.nx as f64 + tol || fy < -tol || fy > self.ny as f64 + tol {
+            return None;
+        }
+        let i = (fx.floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        let j = (fy.floor() as isize).clamp(0, self.ny as isize - 1) as usize;
+        let xi = 2.0 * (fx - i as f64) - 1.0;
+        let eta = 2.0 * (fy - j as f64) - 1.0;
+        // Scan the column for the layer containing z.
+        for k in 0..self.nz {
+            let e = self.elem_id(i, j, k);
+            let zb = self.face_z(e, xi, eta, false);
+            let zt = self.face_z(e, xi, eta, true);
+            let lo = zb.min(zt) - tol * (zt - zb).abs().max(1.0);
+            let hi = zb.max(zt) + tol * (zt - zb).abs().max(1.0);
+            if z >= lo && z <= hi {
+                let zeta = if (zt - zb).abs() < 1e-30 {
+                    0.0
+                } else {
+                    2.0 * (z - zb) / (zt - zb) - 1.0
+                };
+                return Some((e, [xi, eta, zeta.clamp(-1.0, 1.0)]));
+            }
+        }
+        None
+    }
+
+    /// z-coordinate of the bottom (`top = false`) or top face of element `e`
+    /// at horizontal reference position `(ξ, η)` (bilinear interpolation).
+    fn face_z(&self, e: usize, xi: f64, eta: f64, top: bool) -> f64 {
+        let coords = self.elem_coords(e);
+        let off = if top { 4 } else { 0 };
+        let sx = [0.5 * (1.0 - xi), 0.5 * (1.0 + xi)];
+        let sy = [0.5 * (1.0 - eta), 0.5 * (1.0 + eta)];
+        let mut z = 0.0;
+        for dj in 0..2 {
+            for di in 0..2 {
+                z += sx[di] * sy[dj] * coords[off + dj * 2 + di][2];
+            }
+        }
+        z
+    }
+
+    /// Nominal smallest element edge length — the CFL-relevant mesh scale.
+    pub fn min_edge_length(&self) -> f64 {
+        let hx = self.lx / self.nx as f64;
+        let hy = self.ly / self.ny as f64;
+        // Vertical extents vary; scan columns at vertices.
+        let mut min_hz = f64::INFINITY;
+        for j in 0..=self.ny {
+            for i in 0..=self.nx {
+                let zb = self.verts[self.vert_id(i, j, 0)][2];
+                let hz = -zb / self.nz as f64;
+                if hz > 0.0 {
+                    min_hz = min_hz.min(hz);
+                }
+            }
+        }
+        hx.min(hy).min(min_hz)
+    }
+
+    /// Boundary faces with a given tag.
+    pub fn faces_with_tag(&self, tag: BoundaryTag) -> impl Iterator<Item = &BoundaryFace> {
+        self.boundary.iter().filter(move |f| f.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::{CascadiaBathymetry, FlatBathymetry};
+
+    fn small_mesh() -> HexMesh {
+        HexMesh::terrain_following(4, 3, 2, 4000.0, 3000.0, &FlatBathymetry { depth: 1000.0 })
+    }
+
+    #[test]
+    fn counts() {
+        let m = small_mesh();
+        assert_eq!(m.n_elems(), 24);
+        assert_eq!(m.n_verts(), 5 * 4 * 3);
+        assert_eq!(m.verts.len(), m.n_verts());
+    }
+
+    #[test]
+    fn elem_ijk_roundtrip() {
+        let m = small_mesh();
+        for e in 0..m.n_elems() {
+            let (i, j, k) = m.elem_ijk(e);
+            assert_eq!(m.elem_id(i, j, k), e);
+        }
+    }
+
+    #[test]
+    fn surface_at_zero_bottom_at_depth() {
+        let m = small_mesh();
+        for j in 0..=3 {
+            for i in 0..=4 {
+                assert_eq!(m.verts[m.vert_id(i, j, 2)][2], 0.0);
+                assert_eq!(m.verts[m.vert_id(i, j, 0)][2], -1000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_face_census() {
+        let m = small_mesh();
+        let surf = m.faces_with_tag(BoundaryTag::Surface).count();
+        let bot = m.faces_with_tag(BoundaryTag::Bottom).count();
+        let abs = m.faces_with_tag(BoundaryTag::Absorbing).count();
+        assert_eq!(surf, 12); // nx*ny
+        assert_eq!(bot, 12);
+        assert_eq!(abs, 2 * (3 * 2) + 2 * (4 * 2)); // sides
+    }
+
+    #[test]
+    fn map_point_center_and_corners() {
+        let m = small_mesh();
+        let e = m.elem_id(1, 1, 0);
+        let p = m.map_point(e, -1.0, -1.0, -1.0);
+        assert!((p[0] - 1000.0).abs() < 1e-9);
+        assert!((p[1] - 1000.0).abs() < 1e-9);
+        assert!((p[2] + 1000.0).abs() < 1e-9);
+        let c = m.map_point(e, 0.0, 0.0, 0.0);
+        assert!((c[0] - 1500.0).abs() < 1e-9);
+        assert!((c[2] + 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobian_of_flat_mesh_is_diagonal() {
+        let m = small_mesh();
+        let jac = m.jacobian(0, 0.3, -0.2, 0.7);
+        assert!((jac[0][0] - 500.0).abs() < 1e-9); // hx/2
+        assert!((jac[1][1] - 500.0).abs() < 1e-9); // hy/2
+        assert!((jac[2][2] - 250.0).abs() < 1e-9); // hz/2
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    assert!(jac[a][b].abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_point_roundtrip_flat() {
+        let m = small_mesh();
+        let (e, r) = m.locate_point(1234.0, 567.0, -333.0).unwrap();
+        let p = m.map_point(e, r[0], r[1], r[2]);
+        assert!((p[0] - 1234.0).abs() < 1e-6);
+        assert!((p[1] - 567.0).abs() < 1e-6);
+        assert!((p[2] + 333.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn locate_point_roundtrip_terrain() {
+        let bath = CascadiaBathymetry::standard(250e3, 1000e3);
+        let m = HexMesh::terrain_following(16, 32, 4, 250e3, 1000e3, &bath);
+        for &(x, y, frac) in &[(31e3, 47e3, 0.3), (200e3, 900e3, 0.9), (125e3, 500e3, 0.01)] {
+            let d = bath.depth(x, y);
+            let z = -d * frac;
+            let (e, r) = m.locate_point(x, y, z).expect("point should be inside");
+            let p = m.map_point(e, r[0], r[1], r[2]);
+            assert!((p[0] - x).abs() < 1e-5, "x mismatch");
+            assert!((p[1] - y).abs() < 1e-5, "y mismatch");
+            assert!((p[2] - z).abs() < 1.0, "z mismatch: {} vs {z}", p[2]);
+        }
+    }
+
+    #[test]
+    fn locate_point_outside_returns_none() {
+        let m = small_mesh();
+        assert!(m.locate_point(-100.0, 0.0, -10.0).is_none());
+        assert!(m.locate_point(1e9, 0.0, -10.0).is_none());
+        assert!(m.locate_point(100.0, 100.0, 100.0).is_none(), "above surface");
+    }
+
+    #[test]
+    fn min_edge_positive() {
+        let m = small_mesh();
+        assert!(m.min_edge_length() > 0.0);
+    }
+
+    #[test]
+    fn terrain_mesh_follows_bathymetry() {
+        let bath = CascadiaBathymetry::standard(250e3, 1000e3);
+        let m = HexMesh::terrain_following(10, 20, 3, 250e3, 1000e3, &bath);
+        // Bottom vertices must sit at -depth.
+        for j in 0..=20usize {
+            for i in 0..=10usize {
+                let v = m.verts[m.vert_id(i, j, 0)];
+                let d = bath.depth(v[0], v[1]);
+                assert!((v[2] + d).abs() < 1e-9);
+            }
+        }
+    }
+}

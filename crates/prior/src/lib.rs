@@ -1,0 +1,27 @@
+//! The Matérn prior covariance — `Γprior = (δI − γΔ)⁻²` (§IV).
+//!
+//! The paper takes a Gaussian prior whose covariance is block diagonal in
+//! time, each spatial block the inverse of an elliptic PDE operator
+//! (a Matérn covariance à la Lindgren–Rue–Lindqvist / Stuart). Here the
+//! spatial block lives on the cell-centered inversion grid with homogeneous
+//! Neumann conditions, discretized by the standard 5-point stencil.
+//!
+//! Two interchangeable application paths:
+//!
+//! - [`laplacian`]: the honest sparse elliptic operator + CG solves (the
+//!   cuDSS-like route — what Phase 2's "prior solves" cost in the paper),
+//! - [`matern`]: exact fast diagonalization by the 2D DCT-II (the stencil's
+//!   eigenbasis on a uniform Neumann grid), giving `O(N log N)` covariance
+//!   applications, square roots, inverses, and samples.
+//!
+//! Both are property-tested against each other.
+
+// Numeric kernels use index loops that mirror the tensor/math indices
+// of the discretizations; enumerate()-style rewrites obscure the formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod laplacian;
+pub mod matern;
+
+pub use laplacian::NeumannLaplacian;
+pub use matern::MaternPrior;

@@ -1,0 +1,329 @@
+//! Matérn prior covariance via exact DCT diagonalization.
+//!
+//! `Γ = s·(δI − γΔ_h)⁻²` on the cell-centered Neumann grid. The stencil's
+//! eigenbasis is the 2D DCT-II, so covariance applications, square roots,
+//! whitening, sampling, and pointwise marginal variances are all `O(N log N)`
+//! or better — the fast path behind Phase 2's `Nd + Nq` prior solves and
+//! the Matheron posterior sampler.
+
+use crate::laplacian::NeumannLaplacian;
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+use tsunami_fft::Dct2d;
+use tsunami_linalg::random::fill_randn;
+use tsunami_linalg::{DMatrix, LinearOperator};
+
+/// Matérn-type prior `Γ = scale · A⁻²`, `A = δI − γΔ_h` (Neumann).
+pub struct MaternPrior {
+    /// The underlying elliptic operator.
+    pub op: NeumannLaplacian,
+    /// Overall variance scale `s`.
+    pub scale: f64,
+    dct: Dct2d,
+    /// Eigenvalues of `A` in DCT ordering (`ky`-major rows of `kx`).
+    eig: Vec<f64>,
+}
+
+impl MaternPrior {
+    /// Construct from an elliptic operator and a raw scale.
+    pub fn new(op: NeumannLaplacian, scale: f64) -> Self {
+        let dct = Dct2d::new(op.gy, op.gx);
+        let mut eig = vec![0.0; op.n()];
+        for ky in 0..op.gy {
+            for kx in 0..op.gx {
+                eig[ky * op.gx + kx] = op.eigenvalue(kx, ky);
+            }
+        }
+        MaternPrior { op, scale, dct, eig }
+    }
+
+    /// Construct with physical hyperparameters: correlation length `ell`
+    /// (m) and pointwise marginal standard deviation `sigma` at the domain
+    /// center. Uses `δ = 1/ℓ²`, `γ = 1`, then rescales so the center cell's
+    /// marginal std equals `sigma`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tsunami_prior::MaternPrior;
+    /// use tsunami_linalg::random::seeded_rng;
+    ///
+    /// // A 16x12 grid over 40x30 km with 8 km correlation length.
+    /// let prior = MaternPrior::with_hyperparameters(16, 12, 40e3, 30e3, 8e3, 2.0);
+    /// assert_eq!(prior.n(), 16 * 12);
+    /// // The center cell's marginal std matches the requested sigma.
+    /// let var = prior.marginal_variance();
+    /// let center = (12 / 2) * 16 + 16 / 2;
+    /// assert!((var[center].sqrt() - 2.0).abs() < 1e-9);
+    /// // Samples have the grid dimension.
+    /// let mut rng = seeded_rng(1);
+    /// assert_eq!(prior.sample(&mut rng).len(), prior.n());
+    /// ```
+    pub fn with_hyperparameters(
+        gx: usize,
+        gy: usize,
+        lx: f64,
+        ly: f64,
+        ell: f64,
+        sigma: f64,
+    ) -> Self {
+        let op = NeumannLaplacian {
+            gx,
+            gy,
+            hx: lx / gx as f64,
+            hy: ly / gy as f64,
+            delta: 1.0 / (ell * ell),
+            gamma: 1.0,
+        };
+        let mut prior = MaternPrior::new(op, 1.0);
+        let var = prior.marginal_variance();
+        let center = (prior.op.gy / 2) * prior.op.gx + prior.op.gx / 2;
+        prior.scale = sigma * sigma / var[center];
+        prior
+    }
+
+    /// Grid dimension `Nm`.
+    pub fn n(&self) -> usize {
+        self.op.n()
+    }
+
+    /// Spectral application `out = s·Λ^{pow} x` in the DCT basis, where
+    /// `Λ` holds the eigenvalues of `A` (e.g. `pow = −2` for `Γ`).
+    fn apply_spectral(&self, x: &[f64], pow: i32, scale: f64, out: &mut [f64]) {
+        let mut xhat = self.dct.forward(x);
+        for (v, &lam) in xhat.iter_mut().zip(&self.eig) {
+            *v *= scale * lam.powi(pow);
+        }
+        out.copy_from_slice(&self.dct.inverse(&xhat));
+    }
+
+    /// Covariance action `out = Γ x = s A⁻² x`.
+    pub fn apply_cov(&self, x: &[f64], out: &mut [f64]) {
+        self.apply_spectral(x, -2, self.scale, out);
+    }
+
+    /// Square-root action `out = Γ^{1/2} x = √s A⁻¹ x`.
+    pub fn apply_sqrt(&self, x: &[f64], out: &mut [f64]) {
+        self.apply_spectral(x, -1, self.scale.sqrt(), out);
+    }
+
+    /// Precision action `out = Γ⁻¹ x = s⁻¹ A² x`.
+    pub fn apply_inv(&self, x: &[f64], out: &mut [f64]) {
+        self.apply_spectral(x, 2, 1.0 / self.scale, out);
+    }
+
+    /// Draw a zero-mean sample with covariance `Γ`: `Γ^{1/2} ξ`, `ξ∼N(0,I)`.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut xi = vec![0.0; self.n()];
+        fill_randn(rng, &mut xi);
+        let mut out = vec![0.0; self.n()];
+        self.apply_sqrt(&xi, &mut out);
+        out
+    }
+
+    /// Covariance action on many columns in parallel (Phase 2 multi-RHS
+    /// prior solves: one batch per sensor in the paper's accounting).
+    pub fn apply_cov_multi(&self, x: &DMatrix) -> DMatrix {
+        assert_eq!(x.nrows(), self.n());
+        let k = x.ncols();
+        let cols: Vec<Vec<f64>> = (0..k)
+            .into_par_iter()
+            .map(|j| {
+                let xj = x.col(j);
+                let mut out = vec![0.0; self.n()];
+                self.apply_cov(&xj, &mut out);
+                out
+            })
+            .collect();
+        let mut y = DMatrix::zeros(self.n(), k);
+        for (j, c) in cols.iter().enumerate() {
+            y.set_col(j, c);
+        }
+        y
+    }
+
+    /// Pointwise marginal variances `diag(Γ)` — the prior uncertainty map.
+    pub fn marginal_variance(&self) -> Vec<f64> {
+        // diag(Γ)_{ij} = s · Σ_{kx,ky} c²(kx,i) c²(ky,j) / λ², separable:
+        // contract x first, then y.
+        let (gx, gy) = (self.op.gx, self.op.gy);
+        let cx = dct_sq_table(gx);
+        let cy = dct_sq_table(gy);
+        // t[ky][i] = Σ_kx cx[kx][i] / λ(kx,ky)²
+        let mut t = vec![0.0; gy * gx];
+        for ky in 0..gy {
+            for kx in 0..gx {
+                let lam = self.eig[ky * gx + kx];
+                let inv = 1.0 / (lam * lam);
+                for i in 0..gx {
+                    t[ky * gx + i] += cx[kx * gx + i] * inv;
+                }
+            }
+        }
+        let mut var = vec![0.0; gx * gy];
+        for j in 0..gy {
+            for ky in 0..gy {
+                let w = cy[ky * gy + j];
+                for i in 0..gx {
+                    var[j * gx + i] += w * t[ky * gx + i];
+                }
+            }
+        }
+        for v in var.iter_mut() {
+            *v *= self.scale;
+        }
+        var
+    }
+}
+
+/// `c²[k·n + i]` of the orthonormal DCT-II basis entries.
+fn dct_sq_table(n: usize) -> Vec<f64> {
+    let mut t = vec![0.0; n * n];
+    for k in 0..n {
+        let s = if k == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
+        for i in 0..n {
+            let c = (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos();
+            t[k * n + i] = s * c * c;
+        }
+    }
+    t
+}
+
+impl LinearOperator for MaternPrior {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+    fn ncols(&self) -> usize {
+        self.n()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.apply_cov(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.apply_cov(x, y); // symmetric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_linalg::cg::{cg_solve_fresh, CgOptions};
+    use tsunami_linalg::random::seeded_rng;
+    use tsunami_linalg::IdentityOperator;
+
+    fn prior() -> MaternPrior {
+        MaternPrior::with_hyperparameters(12, 9, 60e3, 45e3, 15e3, 2.0)
+    }
+
+    #[test]
+    fn cov_inv_roundtrip() {
+        let p = prior();
+        let x: Vec<f64> = (0..p.n()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut gx = vec![0.0; p.n()];
+        p.apply_cov(&x, &mut gx);
+        let mut back = vec![0.0; p.n()];
+        p.apply_inv(&gx, &mut back);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-8 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_to_cov() {
+        let p = prior();
+        let x: Vec<f64> = (0..p.n()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut s1 = vec![0.0; p.n()];
+        p.apply_sqrt(&x, &mut s1);
+        let mut s2 = vec![0.0; p.n()];
+        p.apply_sqrt(&s1, &mut s2);
+        let mut cov = vec![0.0; p.n()];
+        p.apply_cov(&x, &mut cov);
+        for (a, b) in s2.iter().zip(&cov) {
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn dct_path_matches_cg_elliptic_solves() {
+        // Γx = A⁻¹(A⁻¹ x): the honest route with two CG solves on the
+        // 5-point stencil must agree with the spectral path.
+        let p = prior();
+        let x: Vec<f64> = (0..p.n()).map(|i| ((i * i) as f64 * 0.017).sin()).collect();
+        let opts = CgOptions {
+            rtol: 1e-12,
+            max_iter: 20_000,
+            ..Default::default()
+        };
+        let (y1, r1) = cg_solve_fresh::<_, IdentityOperator>(&p.op, None, &x, &opts);
+        assert!(r1.converged);
+        let (y2, r2) = cg_solve_fresh::<_, IdentityOperator>(&p.op, None, &y1, &opts);
+        assert!(r2.converged);
+        let mut spectral = vec![0.0; p.n()];
+        p.apply_cov(&x, &mut spectral);
+        for (a, b) in spectral.iter().zip(&y2) {
+            let want = b * p.scale;
+            assert!(
+                (a - want).abs() < 1e-6 * want.abs().max(1e-9),
+                "{a} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_variance_matches_unit_vector_probe() {
+        let p = prior();
+        let var = p.marginal_variance();
+        for &c in &[0usize, 17, p.n() / 2, p.n() - 1] {
+            let mut e = vec![0.0; p.n()];
+            e[c] = 1.0;
+            let mut ge = vec![0.0; p.n()];
+            p.apply_cov(&e, &mut ge);
+            assert!(
+                (ge[c] - var[c]).abs() < 1e-9 * var[c].abs().max(1e-15),
+                "diag mismatch at {c}: {} vs {}",
+                ge[c],
+                var[c]
+            );
+        }
+    }
+
+    #[test]
+    fn hyperparameter_scaling_sets_center_std() {
+        let p = MaternPrior::with_hyperparameters(16, 16, 80e3, 80e3, 20e3, 3.5);
+        let var = p.marginal_variance();
+        let center = (p.op.gy / 2) * p.op.gx + p.op.gx / 2;
+        assert!((var[center].sqrt() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_have_prior_covariance_statistics() {
+        let p = MaternPrior::with_hyperparameters(8, 8, 40e3, 40e3, 12e3, 1.0);
+        let mut rng = seeded_rng(11);
+        let n_samp = 4000;
+        let center = (p.op.gy / 2) * p.op.gx + p.op.gx / 2;
+        let mut var_acc = 0.0;
+        for _ in 0..n_samp {
+            let s = p.sample(&mut rng);
+            var_acc += s[center] * s[center];
+        }
+        let emp = var_acc / n_samp as f64;
+        let want = p.marginal_variance()[center];
+        assert!(
+            (emp - want).abs() < 0.1 * want,
+            "empirical {emp} vs exact {want}"
+        );
+    }
+
+    #[test]
+    fn correlation_decays_with_distance() {
+        let p = prior();
+        let center = (p.op.gy / 2) * p.op.gx + p.op.gx / 2;
+        let mut e = vec![0.0; p.n()];
+        e[center] = 1.0;
+        let mut row = vec![0.0; p.n()];
+        p.apply_cov(&e, &mut row);
+        let near = row[center + 1].abs();
+        let far = row[(p.op.gy / 2) * p.op.gx].abs(); // left edge, same row
+        assert!(row[center] > near && near > far, "no spatial decay: {} {near} {far}", row[center]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Seismic moment bookkeeping.
+
+/// Crustal rigidity (shear modulus) used for moment computations, Pa.
+pub const RIGIDITY: f64 = 30e9;
+
+/// Moment magnitude from total seismic moment `M0` (N·m):
+/// `Mw = (log10 M0 − 9.1) / 1.5`.
+pub fn moment_magnitude(m0: f64) -> f64 {
+    (m0.log10() - 9.1) / 1.5
+}
+
+/// Seismic moment from a slip field sampled on cells of area `cell_area`
+/// (m²): `M0 = μ Σ |slip| dA`.
+pub fn moment_from_slip(slip: &[f64], cell_area: f64) -> f64 {
+    RIGIDITY * cell_area * slip.iter().map(|s| s.abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_magnitudes() {
+        // Mw 9.0 ↔ M0 ≈ 3.98e22 N·m.
+        assert!((moment_magnitude(3.98e22) - 9.0).abs() < 0.01);
+        // Mw 8.7 ↔ M0 ≈ 1.41e22.
+        assert!((moment_magnitude(1.41e22) - 8.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn magnitude_monotone_in_moment() {
+        assert!(moment_magnitude(1e22) > moment_magnitude(1e21));
+    }
+
+    #[test]
+    fn moment_scales_with_slip_and_area() {
+        let slip = vec![2.0; 100];
+        let m1 = moment_from_slip(&slip, 1e6);
+        let m2 = moment_from_slip(&slip, 2e6);
+        assert!((m2 / m1 - 2.0).abs() < 1e-12);
+    }
+}

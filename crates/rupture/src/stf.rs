@@ -1,0 +1,116 @@
+//! Source-time functions: how slip at a point unfolds after the rupture
+//! front arrives.
+
+/// A normalized slip-rate pulse of unit integral supported on `[0, rise]`.
+#[derive(Clone, Copy, Debug)]
+pub enum SourceTimeFunction {
+    /// `sin²(πt/τ)`-shaped pulse — smooth, compactly supported.
+    SinSquared {
+        /// Rise time τ (s).
+        rise: f64,
+    },
+    /// Linear ramp: constant rate over `[0, rise]` (boxcar rate).
+    Boxcar {
+        /// Rise time τ (s).
+        rise: f64,
+    },
+}
+
+impl SourceTimeFunction {
+    /// Slip *rate* at time `t` after front arrival (integrates to 1).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tsunami_rupture::SourceTimeFunction;
+    /// let stf = SourceTimeFunction::SinSquared { rise: 8.0 };
+    /// assert_eq!(stf.rate(-1.0), 0.0);            // causal
+    /// assert_eq!(stf.rate(9.0), 0.0);             // finished
+    /// assert!(stf.rate(4.0) > stf.rate(1.0));     // peaks mid-rise
+    /// assert!((stf.cumulative(100.0) - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn rate(&self, t: f64) -> f64 {
+        match *self {
+            SourceTimeFunction::SinSquared { rise } => {
+                if t <= 0.0 || t >= rise {
+                    0.0
+                } else {
+                    // ∫ (2/τ) sin²(πt/τ) dt over [0,τ] = 1.
+                    2.0 / rise * (std::f64::consts::PI * t / rise).sin().powi(2)
+                }
+            }
+            SourceTimeFunction::Boxcar { rise } => {
+                if t <= 0.0 || t >= rise {
+                    0.0
+                } else {
+                    1.0 / rise
+                }
+            }
+        }
+    }
+
+    /// Cumulative slip fraction at time `t` (0 → 1).
+    pub fn cumulative(&self, t: f64) -> f64 {
+        match *self {
+            SourceTimeFunction::SinSquared { rise } => {
+                if t <= 0.0 {
+                    0.0
+                } else if t >= rise {
+                    1.0
+                } else {
+                    let x = std::f64::consts::PI * t / rise;
+                    (x - x.sin() * x.cos()) / std::f64::consts::PI
+                }
+            }
+            SourceTimeFunction::Boxcar { rise } => (t / rise).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Rise time.
+    pub fn rise(&self) -> f64 {
+        match *self {
+            SourceTimeFunction::SinSquared { rise } | SourceTimeFunction::Boxcar { rise } => rise,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_integrates_to_one() {
+        for stf in [
+            SourceTimeFunction::SinSquared { rise: 12.0 },
+            SourceTimeFunction::Boxcar { rise: 7.0 },
+        ] {
+            let n = 20_000;
+            let dt = stf.rise() / n as f64;
+            let total: f64 = (0..n).map(|i| stf.rate((i as f64 + 0.5) * dt) * dt).sum();
+            assert!((total - 1.0).abs() < 1e-6, "{total}");
+        }
+    }
+
+    #[test]
+    fn cumulative_matches_rate_integral() {
+        let stf = SourceTimeFunction::SinSquared { rise: 10.0 };
+        let mut acc = 0.0;
+        let dt = 1e-3;
+        let mut t = 0.0;
+        while t < 10.0 {
+            acc += stf.rate(t + 0.5 * dt) * dt;
+            t += dt;
+            let c = stf.cumulative(t);
+            assert!((acc - c).abs() < 1e-5, "at t={t}: {acc} vs {c}");
+        }
+    }
+
+    #[test]
+    fn causal_and_complete() {
+        let stf = SourceTimeFunction::SinSquared { rise: 8.0 };
+        assert_eq!(stf.cumulative(-1.0), 0.0);
+        assert_eq!(stf.cumulative(100.0), 1.0);
+        assert_eq!(stf.rate(-0.5), 0.0);
+        assert_eq!(stf.rate(8.5), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Temporal discretization: the solver step vs. observation grid.
+//!
+//! Fast acoustic waves force a small PDE timestep `dt` (CFL), while sensors
+//! record at a coarse rate (the paper observes at 1 Hz, `Nt = 420`
+//! observation steps, with `O(10⁴)` PDE steps). Parameters are piecewise
+//! constant on the observation bins — a time-invariant parameterization, so
+//! the discrete p2o map is exactly block-Toeplitz.
+
+/// Aligned solver/observation time grids.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeGrid {
+    /// PDE timestep (s).
+    pub dt: f64,
+    /// PDE steps per observation interval.
+    pub steps_per_obs: usize,
+    /// Number of observation steps `Nt` (observations at `i·dt_obs`,
+    /// `i = 1..=Nt`; parameter bin `j` is active on `[(j−1)·dt_obs, j·dt_obs)`).
+    pub nt_obs: usize,
+}
+
+impl TimeGrid {
+    /// Build from a target observation cadence: picks the largest `dt ≤
+    /// dt_stable` that divides `dt_obs` exactly.
+    pub fn from_cadence(dt_stable: f64, dt_obs: f64, nt_obs: usize) -> Self {
+        assert!(dt_stable > 0.0 && dt_obs > 0.0 && nt_obs >= 1);
+        let spo = (dt_obs / dt_stable).ceil() as usize;
+        TimeGrid {
+            dt: dt_obs / spo as f64,
+            steps_per_obs: spo,
+            nt_obs,
+        }
+    }
+
+    /// Observation cadence `dt_obs = dt · steps_per_obs`.
+    pub fn dt_obs(&self) -> f64 {
+        self.dt * self.steps_per_obs as f64
+    }
+
+    /// Total PDE steps `N = Nt · steps_per_obs`.
+    pub fn total_steps(&self) -> usize {
+        self.nt_obs * self.steps_per_obs
+    }
+
+    /// Final simulation time `T`.
+    pub fn total_time(&self) -> f64 {
+        self.dt * self.total_steps() as f64
+    }
+
+    /// Parameter bin active during PDE step `n → n+1` (0-based).
+    #[inline]
+    pub fn bin_of_step(&self, n: usize) -> usize {
+        n / self.steps_per_obs
+    }
+
+    /// Whether an observation is taken after completing step `n → n+1`,
+    /// i.e. at step index `n+1`; returns the 0-based observation index.
+    #[inline]
+    pub fn obs_index_at(&self, step: usize) -> Option<usize> {
+        if step > 0 && step.is_multiple_of(self.steps_per_obs) {
+            let i = step / self.steps_per_obs;
+            (i <= self.nt_obs).then(|| i - 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_divides_exactly() {
+        let g = TimeGrid::from_cadence(0.013, 1.0, 420);
+        assert!(g.dt <= 0.013);
+        assert!((g.dt * g.steps_per_obs as f64 - 1.0).abs() < 1e-12);
+        assert_eq!(g.total_steps(), 420 * g.steps_per_obs);
+    }
+
+    #[test]
+    fn bins_and_obs_align() {
+        let g = TimeGrid {
+            dt: 0.25,
+            steps_per_obs: 4,
+            nt_obs: 3,
+        };
+        assert_eq!(g.bin_of_step(0), 0);
+        assert_eq!(g.bin_of_step(3), 0);
+        assert_eq!(g.bin_of_step(4), 1);
+        assert_eq!(g.obs_index_at(0), None);
+        assert_eq!(g.obs_index_at(3), None);
+        assert_eq!(g.obs_index_at(4), Some(0));
+        assert_eq!(g.obs_index_at(8), Some(1));
+        assert_eq!(g.obs_index_at(12), Some(2));
+        assert!((g.total_time() - 3.0).abs() < 1e-12);
+    }
+}

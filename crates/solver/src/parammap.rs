@@ -1,0 +1,195 @@
+//! Parameter maps: inversion-grid coefficients → seafloor forcing nodes.
+//!
+//! The inversion parameterizes the seafloor velocity on its own regular 2D
+//! grid (where the Matérn prior is diagonalized by the DCT), while the PDE
+//! forcing lives on the bottom-boundary GLL nodes. A [`ParamMap`] is the
+//! (linear) bridge; its transpose completes the adjoint chain
+//! `Fᵀ = Sᵀ Bᵀ ⋯`.
+
+/// Linear map from inversion parameters to bottom-node values.
+pub trait ParamMap: Sync + Send {
+    /// Inversion-grid dimension `Nm`.
+    fn n_params(&self) -> usize;
+    /// Bottom-boundary node count.
+    fn n_bottom(&self) -> usize;
+    /// `bottom = S m`.
+    fn apply(&self, m: &[f64], bottom: &mut [f64]);
+    /// `m_out += Sᵀ bottom`.
+    fn apply_transpose_add(&self, bottom: &[f64], m_out: &mut [f64]);
+}
+
+/// Identity: parameters *are* the bottom nodes (used by solver-level tests
+/// and by paper-faithful configurations where `Nm` = bottom mesh points).
+pub struct IdentityParamMap {
+    /// Dimension.
+    pub n: usize,
+}
+
+impl ParamMap for IdentityParamMap {
+    fn n_params(&self) -> usize {
+        self.n
+    }
+    fn n_bottom(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, m: &[f64], bottom: &mut [f64]) {
+        bottom.copy_from_slice(m);
+    }
+    fn apply_transpose_add(&self, bottom: &[f64], m_out: &mut [f64]) {
+        for (o, &b) in m_out.iter_mut().zip(bottom) {
+            *o += b;
+        }
+    }
+}
+
+/// Bilinear interpolation from a cell-centered `gx × gy` grid over
+/// `[0,lx] × [0,ly]` to arbitrary `(x, y)` points (the bottom nodes).
+pub struct BilinearParamMap {
+    /// Grid cells in x.
+    pub gx: usize,
+    /// Grid cells in y.
+    pub gy: usize,
+    /// Sparse rows: for each bottom node, up to 4 `(cell, weight)` pairs.
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl BilinearParamMap {
+    /// Build for bottom-node coordinates.
+    pub fn new(gx: usize, gy: usize, lx: f64, ly: f64, points: &[[f64; 3]]) -> Self {
+        assert!(gx >= 1 && gy >= 1);
+        let hx = lx / gx as f64;
+        let hy = ly / gy as f64;
+        let rows = points
+            .iter()
+            .map(|pt| {
+                // Cell-centered coordinates: center of cell (i,j) is
+                // ((i+0.5)h, (j+0.5)h). Clamped bilinear stencil.
+                let fx = (pt[0] / hx - 0.5).clamp(0.0, gx as f64 - 1.0);
+                let fy = (pt[1] / hy - 0.5).clamp(0.0, gy as f64 - 1.0);
+                let i0 = (fx.floor() as usize).min(gx - 1);
+                let j0 = (fy.floor() as usize).min(gy - 1);
+                let i1 = (i0 + 1).min(gx - 1);
+                let j1 = (j0 + 1).min(gy - 1);
+                let tx = fx - i0 as f64;
+                let ty = fy - j0 as f64;
+                let mut entries = Vec::with_capacity(4);
+                let mut push = |i: usize, j: usize, w: f64| {
+                    if w > 1e-14 {
+                        entries.push((j * gx + i, w));
+                    }
+                };
+                push(i0, j0, (1.0 - tx) * (1.0 - ty));
+                push(i1, j0, tx * (1.0 - ty));
+                push(i0, j1, (1.0 - tx) * ty);
+                push(i1, j1, tx * ty);
+                // Merge duplicates from clamping.
+                entries.sort_by_key(|&(c, _)| c);
+                entries.dedup_by(|a, b| {
+                    if a.0 == b.0 {
+                        b.1 += a.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                entries
+            })
+            .collect();
+        BilinearParamMap { gx, gy, rows }
+    }
+}
+
+impl ParamMap for BilinearParamMap {
+    fn n_params(&self) -> usize {
+        self.gx * self.gy
+    }
+    fn n_bottom(&self) -> usize {
+        self.rows.len()
+    }
+    fn apply(&self, m: &[f64], bottom: &mut [f64]) {
+        assert_eq!(m.len(), self.n_params());
+        assert_eq!(bottom.len(), self.rows.len());
+        for (o, row) in bottom.iter_mut().zip(&self.rows) {
+            *o = row.iter().map(|&(c, w)| w * m[c]).sum();
+        }
+    }
+    fn apply_transpose_add(&self, bottom: &[f64], m_out: &mut [f64]) {
+        assert_eq!(m_out.len(), self.n_params());
+        assert_eq!(bottom.len(), self.rows.len());
+        for (&bv, row) in bottom.iter().zip(&self.rows) {
+            for &(c, w) in row {
+                m_out[c] += w * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let pm = IdentityParamMap { n: 4 };
+        let m = [1.0, 2.0, 3.0, 4.0];
+        let mut b = [0.0; 4];
+        pm.apply(&m, &mut b);
+        assert_eq!(b, m);
+    }
+
+    #[test]
+    fn bilinear_partition_of_unity() {
+        let pts: Vec<[f64; 3]> = (0..20)
+            .map(|i| [i as f64 * 499.0 % 10_000.0, (i * 37) as f64 % 8_000.0, 0.0])
+            .collect();
+        let pm = BilinearParamMap::new(8, 5, 10_000.0, 8_000.0, &pts);
+        let ones = vec![1.0; pm.n_params()];
+        let mut b = vec![0.0; pts.len()];
+        pm.apply(&ones, &mut b);
+        for v in b {
+            assert!((v - 1.0).abs() < 1e-12, "PoU violated: {v}");
+        }
+    }
+
+    #[test]
+    fn bilinear_reproduces_linear_functions() {
+        // At interior points, bilinear interp of a linear field is exact.
+        let pts = vec![[3000.0, 2500.0, 0.0], [5250.0, 3750.0, 0.0]];
+        let (gx, gy, lx, ly) = (10usize, 8usize, 10_000.0, 8_000.0);
+        let pm = BilinearParamMap::new(gx, gy, lx, ly, &pts);
+        let hx = lx / gx as f64;
+        let hy = ly / gy as f64;
+        let m: Vec<f64> = (0..gx * gy)
+            .map(|c| {
+                let i = c % gx;
+                let j = c / gx;
+                let x = (i as f64 + 0.5) * hx;
+                let y = (j as f64 + 0.5) * hy;
+                2.0 * x - 0.5 * y + 7.0
+            })
+            .collect();
+        let mut b = vec![0.0; 2];
+        pm.apply(&m, &mut b);
+        for (v, pt) in b.iter().zip(&pts) {
+            let want = 2.0 * pt[0] - 0.5 * pt[1] + 7.0;
+            assert!((v - want).abs() < 1e-9 * want.abs(), "{v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bilinear_transpose_is_adjoint() {
+        let pts: Vec<[f64; 3]> = (0..15)
+            .map(|i| [(i * 613) as f64 % 9_000.0, (i * 401) as f64 % 7_000.0, 0.0])
+            .collect();
+        let pm = BilinearParamMap::new(6, 7, 9_000.0, 7_000.0, &pts);
+        let m: Vec<f64> = (0..pm.n_params()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let w: Vec<f64> = (0..pts.len()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut b = vec![0.0; pts.len()];
+        pm.apply(&m, &mut b);
+        let lhs: f64 = b.iter().zip(&w).map(|(a, c)| a * c).sum();
+        let mut mt = vec![0.0; pm.n_params()];
+        pm.apply_transpose_add(&w, &mut mt);
+        let rhs: f64 = m.iter().zip(&mt).map(|(a, c)| a * c).sum();
+        assert!((lhs - rhs).abs() < 1e-12 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! The full §VIII chain: fault slip → seismic wavefield → seafloor motion
+//! → ocean acoustics → tsunami inversion and forecast.
+//!
+//! A kinematic rupture slips on the megathrust; the elastic section
+//! propagates the waves to the seafloor; the one-way coupling extrudes the
+//! seafloor velocity into the acoustic twin's source field (2.5D); the
+//! acoustic–gravity model generates ocean-bottom pressure; and the digital
+//! twin inverts that pressure for the seafloor motion it never saw
+//! directly — closing the loop two PDE systems away from the fault.
+//!
+//! ```text
+//! cargo run --release --example coupled_chain
+//! ```
+
+use cascadia_dt::elastic::{
+    DippingFault, ElasticGrid, ElasticSolver, LayeredMedium, SeafloorCoupling, SlipScenario,
+};
+use cascadia_dt::linalg::random::{fill_randn, seeded_rng};
+use cascadia_dt::prelude::*;
+use cascadia_dt::twin::metrics::{correlation, rel_l2};
+
+fn main() {
+    println!("== Coupled chain: fault slip -> seismics -> seafloor -> tsunami twin ==\n");
+
+    // Acoustic twin configuration (the ocean side).
+    let cfg = TwinConfig::tiny();
+    let (gx, gy) = cfg.inv_grid;
+    let nt = cfg.nt_obs;
+    let cadence = cfg.dt_obs;
+
+    // Elastic margin section (the solid-Earth side), sized so its surface
+    // band maps onto the acoustic domain's seafloor (scaled embedding).
+    let width = 36_000.0;
+    let depth = 18_000.0;
+    let grid = ElasticGrid::new(36, 18, 1000.0, 1000.0, 5, 0.94);
+    let medium = LayeredMedium::cascadia_margin(depth);
+    let fault = DippingFault::megathrust(width, depth, 6);
+    let elastic = ElasticSolver::new(
+        grid,
+        &medium,
+        fault,
+        &[10_000.0, 20_000.0, 30_000.0],
+        &[30_000.0],
+        cadence,
+        nt,
+        0.5,
+    );
+    println!(
+        "elastic section: {} patches, {} bins x {} substeps (dt {:.3} s)",
+        elastic.n_m(),
+        elastic.nt_obs,
+        elastic.steps_per_bin,
+        elastic.dt
+    );
+
+    // 1. The earthquake: kinematic slip on the fault.
+    let scenario = SlipScenario::partial_rupture(elastic.n_m());
+    let m_slip = scenario.slip_rates(
+        elastic.n_m(),
+        elastic.fault.patch_length(),
+        cadence,
+        elastic.nt_obs,
+    );
+
+    // 2. Solid-Earth propagation + one-way coupling to the seafloor.
+    let coupling = SeafloorCoupling::new(&elastic, gx, width, 2_500.0, 0.5, 0.25);
+    let t0 = std::time::Instant::now();
+    let m_seafloor = coupling.seafloor_velocity(&elastic, &m_slip, gx, gy, cfg.ly, nt, cadence);
+    // Scale the coupled source into the tsunami-relevant range (the scaled
+    // acoustic demo domain expects ~m/s seafloor velocities).
+    let peak = m_seafloor.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let m_true: Vec<f64> = m_seafloor.iter().map(|&v| v / peak).collect();
+    println!(
+        "coupled seafloor source: peak |vz| {:.3e} (elastic solve + extrusion {:.2} s)",
+        peak,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 3. Ocean acoustics: pressure at the OBP sensors, 1% noise.
+    let solver = cfg.build_solver();
+    let (d_clean, q_true) = solver.forward(&m_true);
+    let rms = (d_clean.iter().map(|v| v * v).sum::<f64>() / d_clean.len() as f64).sqrt();
+    let noise_std = 0.01 * rms;
+    let mut rng = seeded_rng(99);
+    let mut noise = vec![0.0; d_clean.len()];
+    fill_randn(&mut rng, &mut noise);
+    let d_obs: Vec<f64> = d_clean
+        .iter()
+        .zip(&noise)
+        .map(|(&c, &n)| c + noise_std * n)
+        .collect();
+    drop(solver);
+
+    // 4. The digital twin inverts the pressure record.
+    let twin = DigitalTwin::offline(cfg, noise_std);
+    let inf = twin.infer(&d_obs);
+    let fc = twin.forecast(&d_obs);
+
+    // The coupled source is transient seismic motion (no static offset),
+    // so the meaningful recovery metric is the spatiotemporal velocity
+    // field itself, not its (near-zero) time integral.
+    println!("\nend-to-end results (two PDE systems between slip and data):");
+    println!(
+        "  seafloor velocity-field correlation: {:.3}",
+        correlation(&inf.m_map, &m_true)
+    );
+    println!(
+        "  wave-height forecast rel-L2:       {:.3}",
+        rel_l2(&fc.q_map, &q_true)
+    );
+    println!(
+        "  online latency: infer {:.2} ms, forecast {:.3} ms",
+        inf.seconds * 1e3,
+        fc.seconds * 1e3
+    );
+    println!("\nThe twin never sees the fault: it reconstructs the seafloor motion");
+    println!("that the elastic wavefield actually produced — rupture complexity,");
+    println!("asperities, and rupture-speed effects included — which is the");
+    println!("paper's argument for inverting seafloor motion instead of assuming");
+    println!("a fault model (Section III-A).");
+}

@@ -1,0 +1,81 @@
+//! Streaming early warning: forecast skill vs. data latency.
+//!
+//! During a real event the twin does not get the full 420 s record at
+//! once — data stream in. Because the data-space Hessian of a truncated
+//! observation window is a leading principal block of the full `K`, one
+//! offline Cholesky factorization serves *every* window length, and each
+//! streaming update keeps the paper's sub-second online guarantee. This
+//! example replays a synthetic rupture and issues a forecast after each
+//! new batch of observations, printing the latency-accuracy trade an
+//! early-warning operator would act on.
+//!
+//! ```text
+//! cargo run --release --example early_warning
+//! ```
+
+use cascadia_dt::prelude::*;
+use cascadia_dt::twin::metrics::{ci95_coverage, rel_l2};
+
+fn main() {
+    println!("== Streaming early warning: accuracy vs. data window ==\n");
+
+    let config = TwinConfig::tiny();
+    let solver = config.build_solver();
+    let rupture = SyntheticEvent::default_rupture(&config);
+    let event = SyntheticEvent::generate(&config, &solver, &rupture, 314);
+    drop(solver);
+
+    let twin = DigitalTwin::offline(config, event.noise_std);
+    let nd = twin.solver.sensors.len();
+    let nt = twin.solver.grid.nt_obs;
+    let dt_obs = twin.solver.grid.dt_obs();
+
+    // Precompute forecast operators for a ladder of windows (offline).
+    let windows: Vec<usize> = (1..=nt).collect();
+    let t0 = std::time::Instant::now();
+    let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &windows);
+    println!(
+        "windowed forecaster: {} windows precomputed in {:.2} s (offline)\n",
+        wf.windows.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    println!("  window  data(s)  online(ms)  forecast rel-L2  95% CI coverage");
+    for (i, &w) in wf.windows.iter().enumerate() {
+        let d_window = &event.d_obs[..w * nd];
+        let fc = wf.forecast(i, d_window);
+        let err = rel_l2(&fc.q_map, &event.q_true);
+        let cov = ci95_coverage(&fc.q_map, &fc.q_std, &event.q_true);
+        println!(
+            "  {w:>6}  {:>6.1}  {:>9.3}  {:>14.3}  {:>13.0}%",
+            w as f64 * dt_obs,
+            fc.seconds * 1e3,
+            err,
+            100.0 * cov
+        );
+    }
+
+    // The streamed *inference* (source reconstruction) is exact per window
+    // too; show the first/last window errors against the full solve.
+    let inf_full = twin.infer(&event.d_obs);
+    let inf_w1 = infer_window(&twin.phase1, &twin.phase2, &event.d_obs[..nd], 1);
+    let inf_wn = infer_window(&twin.phase1, &twin.phase2, &event.d_obs, nt);
+    let diff: f64 = inf_wn
+        .m_map
+        .iter()
+        .zip(&inf_full.m_map)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    println!(
+        "\nfull-window streamed inference == batch inference: residual {diff:.2e}"
+    );
+    println!(
+        "one-window inference norm {:.3e} vs full {:.3e} (early data constrain little)",
+        inf_w1.m_map.iter().map(|v| v * v).sum::<f64>().sqrt(),
+        inf_full.m_map.iter().map(|v| v * v).sum::<f64>().sqrt()
+    );
+    println!("\nUncertainty shrinks monotonically with the window; the operator");
+    println!("reads this table as: how long to wait before the forecast is");
+    println!("trustworthy enough to trigger (or cancel) an evacuation.");
+}

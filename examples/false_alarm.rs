@@ -1,0 +1,76 @@
+//! Real-time false-alarm discrimination via Bayesian model evidence.
+//!
+//! The paper's motivation (§III) cites the 2024 Cape Mendocino earthquake,
+//! "which did not cause a tsunami, despite five million people receiving
+//! evacuation alerts" — the cost of source characterization that cannot
+//! tell a tsunamigenic rupture from a seismic event that leaves the ocean
+//! alone. The data-space machinery answers this for free: the marginal
+//! likelihood of the pressure data under the tsunami-source model uses the
+//! already-factorized `K`, so a Bayes factor against the "sensor noise
+//! only" null costs one triangular solve — microseconds, well inside the
+//! online budget.
+//!
+//! ```text
+//! cargo run --release --example false_alarm
+//! ```
+
+use cascadia_dt::linalg::random::{fill_randn, seeded_rng};
+use cascadia_dt::prelude::*;
+use cascadia_dt::twin::evidence::{log_bayes_factor, log_evidence, log_null};
+
+fn main() {
+    println!("== Evidence-based event discrimination (Cape Mendocino scenario) ==\n");
+
+    let config = TwinConfig::tiny();
+    let solver = config.build_solver();
+    let rupture = SyntheticEvent::default_rupture(&config);
+    let event = SyntheticEvent::generate(&config, &solver, &rupture, 1117);
+    drop(solver);
+    let twin = DigitalTwin::offline(config, event.noise_std);
+    let n = twin.n_data();
+
+    // Scenario A: a genuine tsunamigenic rupture excites the sensors.
+    let t0 = std::time::Instant::now();
+    let bf_event = log_bayes_factor(&twin.phase2, &event.d_obs, event.noise_std);
+    let dt_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Scenario B: "Cape Mendocino" — the sensors record only noise (the
+    // earthquake shook the land but moved no water).
+    let mut rng = seeded_rng(42);
+    let mut quiet = vec![0.0; n];
+    fill_randn(&mut rng, &mut quiet);
+    for v in quiet.iter_mut() {
+        *v *= event.noise_std;
+    }
+    let bf_quiet = log_bayes_factor(&twin.phase2, &quiet, event.noise_std);
+
+    // Scenario C: a weak event at one tenth of the source amplitude.
+    let weak: Vec<f64> = event
+        .d_clean
+        .iter()
+        .zip(&quiet)
+        .map(|(&s, &e)| 0.1 * s + e)
+        .collect();
+    let bf_weak = log_bayes_factor(&twin.phase2, &weak, event.noise_std);
+
+    println!("log Bayes factor: source model vs sensor-noise null");
+    println!("  (>0 favors a real seafloor source; >5 is decisive)\n");
+    println!("  margin-wide rupture:   {bf_event:>12.1}   -> ISSUE WARNING");
+    println!(
+        "  weak (10%) source:     {bf_weak:>12.1}   -> {}",
+        if bf_weak > 5.0 { "ISSUE WARNING" } else { "monitor" }
+    );
+    println!("  no tsunami (noise):    {bf_quiet:>12.1}   -> stand down");
+    println!("\ndecision latency: {dt_ms:.3} ms (one triangular solve on the factored K)");
+
+    // The components, for the curious.
+    println!("\ncomponents for the rupture record:");
+    println!(
+        "  log p(d | source) = {:.1},  log p(d | null) = {:.1}",
+        log_evidence(&twin.phase2, &event.d_obs),
+        log_null(&event.d_obs, event.noise_std)
+    );
+    println!("\nThe Occam penalty in log det K keeps the source model from claiming");
+    println!("noise as signal, so the same twin that forecasts wave heights also");
+    println!("suppresses the false alarms that plague magnitude-based triggers.");
+}

@@ -1,0 +1,52 @@
+//! Sensor-network design study (extension of §VIII).
+//!
+//! The paper notes that warning quality is limited by the sparsity of
+//! offshore sensors. Because the twin solves the Bayesian problem exactly,
+//! the value of a sensor layout is computable *before any earthquake*: this
+//! example sweeps sensor counts and reports forecast error, credible-
+//! interval width, and posterior uncertainty — an optimal-experimental-
+//! design workflow built on the public API.
+//!
+//! ```text
+//! cargo run --release --example sensor_network
+//! ```
+
+use cascadia_dt::prelude::*;
+use cascadia_dt::twin::metrics::{ci95_coverage, rel_l2};
+
+fn main() {
+    println!("== sensor-network design study ==\n");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>12}",
+        "sensors", "forecast err", "mean CI width", "CI coverage", "mean b-std"
+    );
+    for &(sx, sy) in &[(1usize, 2usize), (2, 2), (2, 4), (3, 4)] {
+        let mut config = TwinConfig::tiny();
+        config.sensor_grid = (sx, sy);
+        let solver = config.build_solver();
+        let rupture = SyntheticEvent::default_rupture(&config);
+        let event = SyntheticEvent::generate(&config, &solver, &rupture, 77);
+        drop(solver);
+        let twin = DigitalTwin::offline(config, event.noise_std);
+        let fc = twin.forecast(&event.d_obs);
+        let err = rel_l2(&fc.q_map, &event.q_true);
+        let width = 2.0 * 1.96 * fc.q_std.iter().sum::<f64>() / fc.q_std.len() as f64;
+        let cover = ci95_coverage(&fc.q_map, &fc.q_std, &event.q_true);
+        let b_std = twin.displacement_uncertainty();
+        let mean_bstd = b_std.iter().sum::<f64>() / b_std.len() as f64;
+        println!(
+            "{:>10} {:>12.4} {:>14.5} {:>13.0}% {:>12.4}",
+            sx * sy,
+            err,
+            width,
+            100.0 * cover,
+            mean_bstd
+        );
+    }
+    println!(
+        "\nexpected shape: more sensors → smaller forecast error, narrower\n\
+         credible intervals, lower posterior uncertainty (coverage stays\n\
+         calibrated). This is the paper's §VIII sensor-sparsity point made\n\
+         quantitative."
+    );
+}

@@ -1,0 +1,235 @@
+//! Property-based tests on the core numerical machinery, via the public
+//! API: FFT/Toeplitz equivalences, Cholesky solves, prior identities,
+//! leading-block solves, shake-map statistics, and the elastic adjoint.
+
+use cascadia_dt::elastic::{pgv, DippingFault, ElasticGrid, ElasticSolver, LayeredMedium};
+use cascadia_dt::fft::{dct2_orthonormal, dct3_orthonormal, Bluestein, BlockToeplitz, FftBlockToeplitz};
+use cascadia_dt::linalg::{Cholesky, DMatrix, C64};
+use cascadia_dt::prior::MaternPrior;
+use proptest::prelude::*;
+
+fn toeplitz_strategy() -> impl Strategy<Value = (BlockToeplitz, Vec<f64>, Vec<f64>)> {
+    (1usize..12, 1usize..5, 1usize..7)
+        .prop_flat_map(|(nt, od, id)| {
+            let n_in = nt * id;
+            let n_out = nt * od;
+            (
+                proptest::collection::vec(-1.0f64..1.0, nt * od * id),
+                proptest::collection::vec(-1.0f64..1.0, n_in),
+                proptest::collection::vec(-1.0f64..1.0, n_out),
+                Just((nt, od, id)),
+            )
+        })
+        .prop_map(|(vals, x, w, (nt, od, id))| {
+            let blocks = (0..nt)
+                .map(|k| {
+                    DMatrix::from_fn(od, id, |r, c| vals[(k * od + r) * id + c])
+                })
+                .collect();
+            (BlockToeplitz::new(blocks, od, id), x, w)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fft_toeplitz_matvec_equals_naive((t, x, _w) in toeplitz_strategy()) {
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let mut y1 = vec![0.0; t.nrows()];
+        t.matvec_naive(&x, &mut y1);
+        let mut y2 = vec![0.0; t.nrows()];
+        fast.matvec(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fft_toeplitz_transpose_equals_naive((t, _x, w) in toeplitz_strategy()) {
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let mut z1 = vec![0.0; t.ncols()];
+        t.matvec_transpose_naive(&w, &mut z1);
+        let mut z2 = vec![0.0; t.ncols()];
+        fast.matvec_transpose(&w, &mut z2);
+        for (a, b) in z1.iter().zip(&z2) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn toeplitz_adjoint_identity((t, x, w) in toeplitz_strategy()) {
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        let mut fx = vec![0.0; t.nrows()];
+        fast.matvec(&x, &mut fx);
+        let mut ftw = vec![0.0; t.ncols()];
+        fast.matvec_transpose(&w, &mut ftw);
+        let lhs: f64 = fx.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&ftw).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn bluestein_roundtrip(re in proptest::collection::vec(-10.0f64..10.0, 1..80)) {
+        let x: Vec<C64> = re.iter().map(|&r| C64::new(r, -0.5 * r)).collect();
+        let plan = Bluestein::new(x.len());
+        let back = plan.inverse(&plan.forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip_and_parseval(x in proptest::collection::vec(-5.0f64..5.0, 1..64)) {
+        let spec = dct2_orthonormal(&x);
+        let back = dct3_orthonormal(&spec);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let es: f64 = spec.iter().map(|v| v * v).sum();
+        prop_assert!((ex - es).abs() < 1e-8 * ex.max(1.0));
+    }
+
+    #[test]
+    fn cholesky_solves_random_spd(seed in 0u64..5000, n in 2usize..40) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let m = DMatrix::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut a = m.matmul_nt(&m);
+        a.shift_diag(n as f64 * 0.5 + 1.0);
+        a.symmetrize();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let x = ch.solve(&b);
+        let mut r = vec![0.0; n];
+        a.matvec(&x, &mut r);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn prior_cov_is_spd_quadratic_form(
+        seed in 0u64..1000,
+        gx in 3usize..10,
+        gy in 3usize..10,
+    ) {
+        let prior = MaternPrior::with_hyperparameters(gx, gy, 50e3, 50e3, 12e3, 1.0);
+        let mut s = seed | 1;
+        let x: Vec<f64> = (0..prior.n()).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        }).collect();
+        let mut gx_out = vec![0.0; prior.n()];
+        prior.apply_cov(&x, &mut gx_out);
+        let quad: f64 = x.iter().zip(&gx_out).map(|(a, b)| a * b).sum();
+        // Γ is SPD: xᵀΓx > 0 for x ≠ 0.
+        let norm: f64 = x.iter().map(|v| v * v).sum();
+        prop_assert!(quad > 0.0 || norm < 1e-20, "quadratic form {quad}");
+    }
+
+    #[test]
+    fn toeplitz_storage_linear(nt in 1usize..30, od in 1usize..6, id in 1usize..6) {
+        let t = BlockToeplitz::zeros(nt, od, id);
+        prop_assert_eq!(t.storage_bytes(), nt * od * id * 8);
+        // Dense storage would be nt² blocks; compression factor is nt… but
+        // lower-triangular dense is nt(nt+1)/2, so the ratio is (nt+1)/2.
+        let dense_blocks = nt * (nt + 1) / 2;
+        prop_assert!(dense_blocks >= nt);
+    }
+
+    #[test]
+    fn cholesky_leading_block_solves_any_prefix(seed in 0u64..3000, n in 2usize..30, frac in 0.1f64..1.0) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let m = DMatrix::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut a = m.matmul_nt(&m);
+        a.shift_diag(n as f64 * 0.5 + 1.0);
+        a.symmetrize();
+        let ch = Cholesky::factor(&a).unwrap();
+        let k = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        let b: Vec<f64> = (0..k).map(|i| (i as f64 * 0.83).cos()).collect();
+        let mut x = b.clone();
+        ch.solve_leading_in_place(k, &mut x);
+        // Residual against the leading block of A.
+        for i in 0..k {
+            let mut r = 0.0;
+            for j in 0..k {
+                r += a[(i, j)] * x[j];
+            }
+            prop_assert!((r - b[i]).abs() < 1e-7, "row {i}: {r} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn pgv_dominates_every_sample_and_scales(
+        q in proptest::collection::vec(-4.0f64..4.0, 2..60),
+        c in 0.1f64..5.0,
+        nq in 1usize..4,
+    ) {
+        let nt = q.len() / nq;
+        prop_assume!(nt >= 1);
+        let q = &q[..nq * nt];
+        let p = pgv(q, nq, nt);
+        // PGV bounds every sample of its site.
+        for i in 0..nt {
+            for s in 0..nq {
+                prop_assert!(q[i * nq + s].abs() <= p[s] + 1e-15);
+            }
+        }
+        // Positive homogeneity: pgv(c·q) = c·pgv(q).
+        let qc: Vec<f64> = q.iter().map(|&v| c * v).collect();
+        let pc = pgv(&qc, nq, nt);
+        for (a, b) in pc.iter().zip(&p) {
+            prop_assert!((a - c * b).abs() < 1e-12 * (c * b).abs().max(1e-12));
+        }
+    }
+}
+
+proptest! {
+    // The elastic solves are heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn elastic_adjoint_identity_over_random_configs(
+        seed in 0u64..1000,
+        np in 2usize..6,
+        nt in 2usize..6,
+        dip_deg in 8.0f64..30.0,
+    ) {
+        let grid = ElasticGrid::new(28, 14, 1000.0, 1000.0, 4, 0.94);
+        let medium = LayeredMedium::cascadia_margin(14_000.0);
+        let fault = DippingFault {
+            x_top: 5_000.0,
+            z_top: 2_000.0,
+            dip: dip_deg.to_radians(),
+            length: 14_000.0,
+            n_patches: np,
+        };
+        let sol = ElasticSolver::new(
+            grid, &medium, fault, &[8_000.0, 18_000.0], &[22_000.0], 0.5, nt, 0.5,
+        );
+        let mut s = seed | 1;
+        let mut rnd = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }).collect()
+        };
+        let m = rnd(sol.n_params());
+        let w = rnd(sol.n_data());
+        let (d, _) = sol.forward(&m);
+        let z = sol.adjoint_data(&w);
+        let lhs: f64 = d.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let rhs: f64 = m.iter().zip(&z).map(|(a, b)| a * b).sum();
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(rhs.abs()).max(1e-12),
+            "elastic adjoint identity: {lhs} vs {rhs}"
+        );
+    }
+}
