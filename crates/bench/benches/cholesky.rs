@@ -1,15 +1,17 @@
 //! Criterion bench: Cholesky factorization of the data-space Hessian `K`
 //! (the paper's 22 s cuSOLVERMp step, Table III Phase 2).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 use tsunami_linalg::{Cholesky, DMatrix};
 
 fn spd(n: usize) -> DMatrix {
     let mut s = 1u64;
     let m = DMatrix::from_fn(n, n, |_, _| {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     });
     let mut a = m.matmul_nt(&m);

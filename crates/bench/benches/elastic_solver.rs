@@ -34,7 +34,9 @@ fn bench_elastic(c: &mut Criterion) {
     for &(nx, nz) in &[(32usize, 16usize), (64, 32), (96, 48)] {
         let nt = 12;
         let sol = build(nx, nz, nt);
-        let m: Vec<f64> = (0..sol.n_params()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let m: Vec<f64> = (0..sol.n_params())
+            .map(|i| (i as f64 * 0.3).sin())
+            .collect();
         let w: Vec<f64> = (0..sol.n_data()).map(|i| (i as f64 * 0.7).cos()).collect();
         let dof = (5 * nx * nz) as u64;
         group.throughput(Throughput::Elements(dof * (nt * sol.steps_per_bin) as u64));

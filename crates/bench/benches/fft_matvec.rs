@@ -2,9 +2,9 @@
 //! block multiply — the §V-A ablation. Regenerates the crossover that
 //! justifies the FFT machinery (Table III's 24 ms Hessian matvec row).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 use tsunami_fft::{BlockToeplitz, FftBlockToeplitz};
 use tsunami_linalg::DMatrix;
 
@@ -13,7 +13,9 @@ fn random_toeplitz(nt: usize, out_dim: usize, in_dim: usize) -> BlockToeplitz {
     let blocks = (0..nt)
         .map(|_| {
             DMatrix::from_fn(out_dim, in_dim, |_, _| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
         })

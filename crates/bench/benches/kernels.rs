@@ -1,10 +1,10 @@
 //! Criterion bench: the five Fig 7 operator-kernel variants at a fixed
 //! mid-size mesh (order 4). DOF throughput is the paper's primary metric.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 use tsunami_fem::kernels::{make_kernel, KernelContext, KernelVariant};
 use tsunami_mesh::{FlatBathymetry, HexMesh};
 

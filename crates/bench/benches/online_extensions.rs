@@ -10,7 +10,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use tsunami_core::{greedy_design, Criterion as OedCriterion, DigitalTwin, OedCandidates, TwinConfig, WindowedForecaster};
+use tsunami_core::{
+    greedy_design, Criterion as OedCriterion, DigitalTwin, OedCandidates, TwinConfig,
+    WindowedForecaster,
+};
 
 fn bench_online_extensions(c: &mut Criterion) {
     let twin = DigitalTwin::offline(TwinConfig::tiny(), 0.03);
@@ -18,7 +21,9 @@ fn bench_online_extensions(c: &mut Criterion) {
     let nd = twin.solver.sensors.len();
     let windows: Vec<usize> = vec![nt / 4, nt / 2, nt];
     let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &windows);
-    let d: Vec<f64> = (0..twin.n_data()).map(|i| (i as f64 * 0.21).sin()).collect();
+    let d: Vec<f64> = (0..twin.n_data())
+        .map(|i| (i as f64 * 0.21).sin())
+        .collect();
 
     let mut group = c.benchmark_group("online_extensions");
     group.measurement_time(Duration::from_secs(2));
@@ -34,9 +39,13 @@ fn bench_online_extensions(c: &mut Criterion) {
 
     let cand = OedCandidates::build(&twin.phase1, &twin.phase2, &twin.phase3);
     for &n_pick in &[1usize, 2] {
-        group.bench_with_input(BenchmarkId::new("greedy_a_optimal", n_pick), &n_pick, |b, &k| {
-            b.iter(|| black_box(greedy_design(&cand, k, OedCriterion::AOptimal)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_a_optimal", n_pick),
+            &n_pick,
+            |b, &k| {
+                b.iter(|| black_box(greedy_design(&cand, k, OedCriterion::AOptimal)));
+            },
+        );
     }
     group.finish();
 }

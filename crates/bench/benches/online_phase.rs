@@ -1,9 +1,9 @@
 //! Criterion bench: Phase 4 online latency — the paper's < 0.2 s
 //! inference and < 1 ms forecast (Table III bottom rows).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 use tsunami_core::{DigitalTwin, SyntheticEvent, TwinConfig};
 
 fn bench_online(c: &mut Criterion) {

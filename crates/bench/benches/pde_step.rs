@@ -1,9 +1,9 @@
 //! Criterion bench: runtime per RK4 timestep — the paper's primary
 //! application metric (Fig 5 y-axis).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
+use std::time::Duration;
 use tsunami_fem::kernels::{KernelContext, KernelVariant};
 use tsunami_mesh::{CascadiaBathymetry, HexMesh};
 use tsunami_solver::rk4::{rk4_step, Rk4Workspace};

@@ -2,9 +2,9 @@
 //! honest CG elliptic solves (Phase 2's `Nd + Nq` prior solves; the
 //! cuDSS-vs-spectral ablation called out in DESIGN.md).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 use tsunami_linalg::cg::{cg_solve_fresh, CgOptions};
 use tsunami_linalg::IdentityOperator;
 use tsunami_prior::MaternPrior;

@@ -82,8 +82,16 @@ fn main() {
         // 1D slabs along each axis (pz forced to 1 so the slab count is
         // the full GPU count).
         let slabs = [
-            RankGrid { px: c.gpus, py: 1, pz: 1 },
-            RankGrid { px: 1, py: c.gpus, pz: 1 },
+            RankGrid {
+                px: c.gpus,
+                py: 1,
+                pz: 1,
+            },
+            RankGrid {
+                px: 1,
+                py: c.gpus,
+                pz: 1,
+            },
         ];
         let slab_halos: Vec<usize> = slabs
             .iter()
@@ -109,7 +117,11 @@ fn main() {
 
         // Sanity: the tuner must never be worse than the best slab, and the
         // analytic halo-surface objective must rank identically.
-        assert!(tuned_halo <= best_slab, "{}: tuner lost to a slab", c.machine);
+        assert!(
+            tuned_halo <= best_slab,
+            "{}: tuner lost to a slab",
+            c.machine
+        );
         let hs_tuned = halo_surface(&tuned, ex, ey, ez);
         let hs_slab = slabs
             .iter()

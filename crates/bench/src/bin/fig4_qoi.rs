@@ -56,14 +56,24 @@ fn main() {
     let cover = ci95_coverage(&fc.q_map, &fc.q_std, &ev.q_true);
     let err = rel_l2(&fc.q_map, &ev.q_true);
     println!("\nFig 4 shape checks:");
-    println!("  95% CI empirical coverage : {:.1}%  (target ≈ 95%, paper shows truth inside CIs)", 100.0 * cover);
+    println!(
+        "  95% CI empirical coverage : {:.1}%  (target ≈ 95%, paper shows truth inside CIs)",
+        100.0 * cover
+    );
     println!("  forecast relative L2 error: {err:.3}");
-    println!("  forecast latency          : {:.3e} s (paper: < 1 ms on one GPU)", fc.seconds);
+    println!(
+        "  forecast latency          : {:.3e} s (paper: < 1 ms on one GPU)",
+        fc.seconds
+    );
     // Peak wave height comparison per location.
     println!("\n  location   peak true (m)   peak predicted (m)");
     for j in 0..nq {
-        let pt = (0..nt).map(|i| ev.q_true[i * nq + j].abs()).fold(0.0, f64::max);
-        let pp = (0..nt).map(|i| fc.q_map[i * nq + j].abs()).fold(0.0, f64::max);
+        let pt = (0..nt)
+            .map(|i| ev.q_true[i * nq + j].abs())
+            .fold(0.0, f64::max);
+        let pp = (0..nt)
+            .map(|i| fc.q_map[i * nq + j].abs())
+            .fold(0.0, f64::max);
         println!("  #{j:<8} {pt:>14.4} {pp:>19.4}");
     }
 }

@@ -40,7 +40,11 @@ fn main() {
     println!("host kernel evidence (per-DOF cost should be ~flat once saturated):");
     for &elems in &[512usize, 4_096, 32_768, 110_592] {
         let spd = host_sec_per_dof(elems);
-        println!("  {elems:>8} elems: {:.3e} s/DOF ({:.2} GDOF/s host)", spd, 1e-9 / spd);
+        println!(
+            "  {elems:>8} elems: {:.3e} s/DOF ({:.2} GDOF/s host)",
+            spd,
+            1e-9 / spd
+        );
     }
 
     // Paper discretization constants (order 4): 256 DOF/elem, 25 p-dofs/face.
@@ -138,7 +142,10 @@ fn main() {
     for s in [&el_cap_strong, &alps_strong, &perl_strong, &frontera_strong] {
         println!("\n{}", s.report("strong"));
         let su = s.strong_speedup();
-        let sus: Vec<String> = su.iter().map(|(sp, ef)| format!("{sp:.1}({ef:.2})")).collect();
+        let sus: Vec<String> = su
+            .iter()
+            .map(|(sp, ef)| format!("{sp:.1}({ef:.2})"))
+            .collect();
         println!("speedup(eff): {}", sus.join(" "));
     }
 
@@ -215,7 +222,10 @@ fn main() {
             ),
         },
     ];
-    println!("\n{}", comparison_table("Fig 5: scalability headlines", &rows));
+    println!(
+        "\n{}",
+        comparison_table("Fig 5: scalability headlines", &rows)
+    );
 
     // CSV of the El Capitan curves for plotting.
     let gpus: Vec<f64> = el_cap_weak.points.iter().map(|p| p.ranks as f64).collect();

@@ -98,5 +98,8 @@ fn main() {
     rows.extend(rows2);
     println!("{}", comparison_table("Fig 6: timer breakdown", &rows));
     println!("solver fraction: weak limit {weak_frac:.1}%, strong limit {strong_frac:.1}% (paper: 99% / 95%)");
-    assert!(weak_frac > strong_frac * 0.8, "weak limit should be at least as solver-dominated");
+    assert!(
+        weak_frac > strong_frac * 0.8,
+        "weak limit should be at least as solver-dominated"
+    );
 }

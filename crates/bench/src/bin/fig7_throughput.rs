@@ -56,7 +56,11 @@ fn main() {
             // beyond the paper-like threshold and mark it.
             if variant == KernelVariant::FullAssembly && dofs > 3_000_000 {
                 cells.push("   (skipped)".to_string());
-                csv.iter_mut().find(|(v, _)| *v == variant).unwrap().1.push(f64::NAN);
+                csv.iter_mut()
+                    .find(|(v, _)| *v == variant)
+                    .unwrap()
+                    .1
+                    .push(f64::NAN);
                 continue;
             }
             let kernel = make_kernel(variant, ctx.clone());
@@ -65,7 +69,11 @@ fn main() {
             });
             let gdofs = dofs as f64 / t / 1e9;
             cells.push(format!("{gdofs:>10.3} G/s"));
-            csv.iter_mut().find(|(v, _)| *v == variant).unwrap().1.push(gdofs);
+            csv.iter_mut()
+                .find(|(v, _)| *v == variant)
+                .unwrap()
+                .1
+                .push(gdofs);
             last_row.push((variant, gdofs));
         }
         println!("{:>10} {:>12} | {}", n * n * n, dofs, cells.join(" "));

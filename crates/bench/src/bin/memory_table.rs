@@ -46,7 +46,10 @@ fn main() {
             measured: format!("{} ({:.1} B/DOF)", fmt_bytes(b), b as f64 / dofs as f64),
         });
     }
-    println!("{}", comparison_table("operator storage per variant", &rows));
+    println!(
+        "{}",
+        comparison_table("operator storage per variant", &rows)
+    );
 
     // Ledger: the persistent solver state, before/after the paper's
     // optimizations (full assembly + host mirrors vs fused PA + reuse).
@@ -57,7 +60,10 @@ fn main() {
     naive.alloc("RK4 stages k1..k4", 4 * f64_bytes(dofs));
     naive.alloc("stage scratch", 2 * f64_bytes(dofs));
     naive.alloc("host mirror of state", f64_bytes(dofs)); // freed in paper
-    naive.alloc("stored Jacobian determinants", f64_bytes(ctx.nq3() * ctx.mesh.n_elems()));
+    naive.alloc(
+        "stored Jacobian determinants",
+        f64_bytes(ctx.nq3() * ctx.mesh.n_elems()),
+    );
 
     let opt = MemoryLedger::new();
     let fused = make_kernel(KernelVariant::FusedPa, ctx.clone());

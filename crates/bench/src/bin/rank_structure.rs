@@ -77,7 +77,10 @@ fn main() {
     );
 
     let idx: Vec<f64> = (0..eig.len()).map(|i| i as f64).collect();
-    let path = write_csv("rank_structure_spectrum.csv", &[("index", &idx), ("eigenvalue", &eig)])
-        .expect("csv");
+    let path = write_csv(
+        "rank_structure_spectrum.csv",
+        &[("index", &idx), ("eigenvalue", &eig)],
+    )
+    .expect("csv");
     println!("\nspectrum written to {path}");
 }

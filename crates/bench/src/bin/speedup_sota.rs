@@ -25,7 +25,9 @@ fn main() {
     let sigma2 = ev.noise_std * ev.noise_std;
 
     // --- Hessian matvec cost, both ways.
-    let x: Vec<f64> = (0..twin.n_params()).map(|i| (i as f64 * 0.013).sin()).collect();
+    let x: Vec<f64> = (0..twin.n_params())
+        .map(|i| (i as f64 * 0.013).sin())
+        .collect();
     let t_pde = time_median(1, || {
         std::hint::black_box(pde_hessian_matvec(&solver, &stp, sigma2, &x));
     });
@@ -127,7 +129,10 @@ fn main() {
             measured: fmt_secs(t_cg_fft),
         },
     ];
-    println!("{}", comparison_table("§VII-C: speedups over the state of the art", &rows));
+    println!(
+        "{}",
+        comparison_table("§VII-C: speedups over the state of the art", &rows)
+    );
     println!(
         "note: speedup magnitudes scale with problem size; at the paper's\n\
          10^9 parameters both factors grow by the ratio of PDE cost to FFT\n\

@@ -80,7 +80,10 @@ fn main() {
             measured: fmt_secs(fc_s),
         },
     ];
-    println!("{}", comparison_table("Table III: per-phase compute time", &rows));
+    println!(
+        "{}",
+        comparison_table("Table III: per-phase compute time", &rows)
+    );
 
     // Structural ratios (the reproduction targets).
     println!("shape checks:");

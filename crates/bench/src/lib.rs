@@ -25,7 +25,12 @@ pub fn comparison_table(title: &str, rows: &[Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
     let w0 = rows.iter().map(|r| r.label.len()).max().unwrap_or(8).max(8);
-    let w1 = rows.iter().map(|r| r.paper.len()).max().unwrap_or(5).max(14);
+    let w1 = rows
+        .iter()
+        .map(|r| r.paper.len())
+        .max()
+        .unwrap_or(5)
+        .max(14);
     let _ = writeln!(
         out,
         "{:<w0$}  {:<w1$}  measured (this repo)",
@@ -91,7 +96,10 @@ pub fn write_csv(name: &str, columns: &[(&str, &[f64])]) -> std::io::Result<Stri
     writeln!(f, "{}", header.join(","))?;
     let len = columns.first().map_or(0, |(_, c)| c.len());
     for i in 0..len {
-        let row: Vec<String> = columns.iter().map(|(_, c)| format!("{:.8e}", c[i])).collect();
+        let row: Vec<String> = columns
+            .iter()
+            .map(|(_, c)| format!("{:.8e}", c[i]))
+            .collect();
         writeln!(f, "{}", row.join(","))?;
     }
     Ok(path.display().to_string())

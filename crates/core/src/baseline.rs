@@ -120,7 +120,9 @@ mod tests {
         let p2 = Phase2::build(&p1, &prior_s, sigma, &timers);
         let stp = SpaceTimePrior::new(cfg.build_prior(), solver.grid.nt_obs);
 
-        let d: Vec<f64> = (0..p1.fast_f.nrows()).map(|i| (i as f64 * 0.19).sin()).collect();
+        let d: Vec<f64> = (0..p1.fast_f.nrows())
+            .map(|i| (i as f64 * 0.19).sin())
+            .collect();
         let inf = crate::phase4::infer(&p1, &p2, &d);
         let opts = CgOptions {
             rtol: 1e-12,
@@ -137,7 +139,10 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         let den: f64 = m_cg.iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(num < 1e-6 * den.max(1e-12), "CG vs SMW mismatch: {num}/{den}");
+        assert!(
+            num < 1e-6 * den.max(1e-12),
+            "CG vs SMW mismatch: {num}/{den}"
+        );
     }
 
     #[test]
@@ -150,7 +155,9 @@ mod tests {
         let p1 = Phase1::build(&solver, &timers);
         let stp = SpaceTimePrior::new(cfg.build_prior(), solver.grid.nt_obs);
         let sigma2 = 0.01;
-        let x: Vec<f64> = (0..p1.fast_f.ncols()).map(|i| (i as f64 * 0.07).cos()).collect();
+        let x: Vec<f64> = (0..p1.fast_f.ncols())
+            .map(|i| (i as f64 * 0.07).cos())
+            .collect();
         let via_pde = pde_hessian_matvec(&solver, &stp, sigma2, &x);
         let h = HessianOperator {
             fast_f: &p1.fast_f,
@@ -180,7 +187,9 @@ mod tests {
         let p1 = Phase1::build(&solver, &timers);
         let stp = SpaceTimePrior::new(cfg.build_prior(), solver.grid.nt_obs);
         let sigma2 = 0.0025;
-        let d: Vec<f64> = (0..p1.fast_f.nrows()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let d: Vec<f64> = (0..p1.fast_f.nrows())
+            .map(|i| (i as f64 * 0.31).sin())
+            .collect();
         let h = HessianOperator {
             fast_f: &p1.fast_f,
             prior: &stp,

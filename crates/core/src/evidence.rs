@@ -70,7 +70,10 @@ pub fn calibrate_noise(
     d: &[f64],
     candidates: &[f64],
 ) -> (f64, Vec<f64>) {
-    assert!(!candidates.is_empty(), "need at least one candidate noise level");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate noise level"
+    );
     let timers = tsunami_hpc::TimerRegistry::new();
     let evidences: Vec<f64> = candidates
         .iter()
@@ -108,8 +111,7 @@ mod tests {
         // Dense reference: quad via full solve, logdet via the factor.
         let kd = twin.phase2.k_solve(&d);
         let quad: f64 = d.iter().zip(&kd).map(|(a, b)| a * b).sum();
-        let reference =
-            -0.5 * (quad + twin.phase2.k_chol.log_det() + n as f64 * LOG_2PI);
+        let reference = -0.5 * (quad + twin.phase2.k_chol.log_det() + n as f64 * LOG_2PI);
         assert!(
             (le - reference).abs() < 1e-8 * reference.abs().max(1.0),
             "{le} vs {reference}"
@@ -142,7 +144,10 @@ mod tests {
             bf_noise < bf_event - 5.0,
             "no separation: noise {bf_noise} vs event {bf_event}"
         );
-        assert!(bf_noise < 1.0, "false alarm: log BF {bf_noise} on pure noise");
+        assert!(
+            bf_noise < 1.0,
+            "false alarm: log BF {bf_noise} on pure noise"
+        );
     }
 
     #[test]

@@ -84,18 +84,12 @@ impl LtiModel for WaveSolver {
 /// single full-horizon adjoint solve recovers that output's row of every
 /// block — the paper's Phase 1.
 pub fn build_maps<M: LtiModel>(model: &M) -> (BlockToeplitz, BlockToeplitz) {
-    let f = build_one_map(
-        model.n_sensors(),
-        model.n_m(),
-        model.nt_obs(),
-        |w| model.adjoint_data(w),
-    );
-    let fq = build_one_map(
-        model.n_qoi_outputs(),
-        model.n_m(),
-        model.nt_obs(),
-        |w| model.adjoint_qoi(w),
-    );
+    let f = build_one_map(model.n_sensors(), model.n_m(), model.nt_obs(), |w| {
+        model.adjoint_data(w)
+    });
+    let fq = build_one_map(model.n_qoi_outputs(), model.n_m(), model.nt_obs(), |w| {
+        model.adjoint_qoi(w)
+    });
     (f, fq)
 }
 
@@ -146,7 +140,9 @@ impl LtiBayesEngine {
     /// factorization, QoI covariance, and the data-to-QoI map.
     pub fn offline<M: LtiModel>(model: &M, spatial_prior: MaternPrior, noise_std: f64) -> Self {
         let timers = TimerRegistry::new();
-        let (f, fq) = timers.time("Phase 1: adjoint solves (generic LTI)", || build_maps(model));
+        let (f, fq) = timers.time("Phase 1: adjoint solves (generic LTI)", || {
+            build_maps(model)
+        });
         Self::from_blocks(f, fq, spatial_prior, noise_std, timers)
     }
 
@@ -198,11 +194,7 @@ impl LtiBayesEngine {
     }
 
     /// Draw an exact posterior sample of the parameters (Matheron's rule).
-    pub fn posterior_sample(
-        &self,
-        m_map: &[f64],
-        rng: &mut rand::rngs::StdRng,
-    ) -> Vec<f64> {
+    pub fn posterior_sample(&self, m_map: &[f64], rng: &mut rand::rngs::StdRng) -> Vec<f64> {
         crate::posterior::posterior_sample(&self.phase1, &self.phase2, &self.prior, m_map, rng)
     }
 
@@ -259,7 +251,9 @@ mod tests {
         let engine = LtiBayesEngine::offline(&solver, cfg.build_prior(), noise);
         let twin = crate::twin::DigitalTwin::offline(cfg, noise);
 
-        let d: Vec<f64> = (0..engine.n_data()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let d: Vec<f64> = (0..engine.n_data())
+            .map(|i| (i as f64 * 0.31).sin())
+            .collect();
         let m1 = engine.infer(&d);
         let m2 = twin.infer(&d);
         for (a, b) in m1.m_map.iter().zip(&m2.m_map) {

@@ -170,10 +170,18 @@ pub fn greedy_design(cand: &OedCandidates, n_pick: usize, criterion: Criterion) 
                 };
                 (score, r)
             })
-            .reduce(
-                || (f64::NEG_INFINITY, usize::MAX),
-                |a, b| if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) { b } else { a },
-            );
+            // Serial-shim note: real rayon takes `.reduce(identity, op)`;
+            // under the in-tree shim the chain is a std iterator, so this
+            // is the equivalent fold with the same identity and operator
+            // (the operator is associative + commutative, so results agree
+            // with any parallel reduction order).
+            .fold((f64::NEG_INFINITY, usize::MAX), |a, b| {
+                if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                    b
+                } else {
+                    a
+                }
+            });
         assert!(best.1 != usize::MAX, "no candidate could be evaluated");
         selected.push(best.1);
         objective_path.push(match criterion {

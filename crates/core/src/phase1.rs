@@ -44,7 +44,10 @@ impl Phase1 {
     /// `tsunami-elastic`, or blocks loaded from disk.
     pub fn from_blocks(f: BlockToeplitz, fq: BlockToeplitz) -> Self {
         assert_eq!(f.nt, fq.nt, "p2o and p2q must share the time horizon");
-        assert_eq!(f.in_dim, fq.in_dim, "p2o and p2q must share the parameter space");
+        assert_eq!(
+            f.in_dim, fq.in_dim,
+            "p2o and p2q must share the parameter space"
+        );
         let fast_f = FftBlockToeplitz::from_blocks(&f);
         let fast_fq = FftBlockToeplitz::from_blocks(&fq);
         Phase1 {

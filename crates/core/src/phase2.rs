@@ -35,12 +35,7 @@ pub struct Phase2 {
 
 impl Phase2 {
     /// Build from Phase 1 output and the spatial prior.
-    pub fn build(
-        p1: &Phase1,
-        prior: &MaternPrior,
-        noise_std: f64,
-        timers: &TimerRegistry,
-    ) -> Self {
+    pub fn build(p1: &Phase1, prior: &MaternPrior, noise_std: f64, timers: &TimerRegistry) -> Self {
         let g_blocks = timers.time("Phase 2: form G = F*Prior (prior solves)", || {
             smooth_blocks(&p1.f, prior)
         });
@@ -177,16 +172,18 @@ mod tests {
         // Small enough to materialize: K == σ²I + F Γ Fᵀ densely.
         let (solver, p1, prior) = setup();
         let sigma = 0.07;
-        let k_fast = form_k(&p1.fast_f, {
-            let g = smooth_blocks(&p1.f, &prior);
-            &FftBlockToeplitz::from_blocks(&g)
-        }, sigma * sigma);
+        let k_fast = form_k(
+            &p1.fast_f,
+            {
+                let g = smooth_blocks(&p1.f, &prior);
+                &FftBlockToeplitz::from_blocks(&g)
+            },
+            sigma * sigma,
+        );
         let stp = SpaceTimePrior::new(prior, solver.grid.nt_obs);
         let f_dense = p1.f.to_dense();
         let gamma_dense = stp.to_dense();
-        let mut k_dense = f_dense
-            .matmul(&gamma_dense)
-            .matmul_nt(&f_dense);
+        let mut k_dense = f_dense.matmul(&gamma_dense).matmul_nt(&f_dense);
         k_dense.shift_diag(sigma * sigma);
         let mut diff = k_fast.clone();
         diff.add_scaled(-1.0, &k_dense);

@@ -88,7 +88,9 @@ mod tests {
         let sigma = 0.05;
         let p2 = crate::phase2::Phase2::build(&p1, &prior, sigma, &timers);
 
-        let d: Vec<f64> = (0..p1.fast_f.nrows()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let d: Vec<f64> = (0..p1.fast_f.nrows())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
         let inf = infer(&p1, &p2, &d);
 
         // Dense reference via SMW in the same form: m = ΓFᵀ K⁻¹ d.
@@ -112,7 +114,10 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         let den: f64 = m_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(num < 1e-8 * den.max(1e-12), "m_map mismatch: {num} vs {den}");
+        assert!(
+            num < 1e-8 * den.max(1e-12),
+            "m_map mismatch: {num} vs {den}"
+        );
 
         // Cross-check against the *primal* normal equations too:
         // (Γ⁻¹ + FᵀF/σ²) m_map ≈ Fᵀ d/σ².
@@ -153,7 +158,9 @@ mod tests {
         let p2 = crate::phase2::Phase2::build(&p1, &prior, 0.03, &timers);
         let p3 = crate::phase3::Phase3::build(&p1, &p2, &timers);
 
-        let d: Vec<f64> = (0..p1.fast_f.nrows()).map(|i| (i as f64 * 0.23).cos()).collect();
+        let d: Vec<f64> = (0..p1.fast_f.nrows())
+            .map(|i| (i as f64 * 0.23).cos())
+            .collect();
         let inf = infer(&p1, &p2, &d);
         let fc = predict(&p3, &d);
         let mut q_from_m = vec![0.0; p1.fast_fq.nrows()];

@@ -14,12 +14,7 @@ use tsunami_linalg::random::fill_randn;
 ///
 /// For the indicator `e_c = dt·(1_time ⊗ δ_c)`:
 /// `Var = e_cᵀ Γpost e_c = e_cᵀ Γprior e_c − ‖L⁻¹ (G e_c)‖²` with `K = LLᵀ`.
-pub fn displacement_std(
-    p1: &Phase1,
-    p2: &Phase2,
-    prior: &SpaceTimePrior,
-    dt_obs: f64,
-) -> Vec<f64> {
+pub fn displacement_std(p1: &Phase1, p2: &Phase2, prior: &SpaceTimePrior, dt_obs: f64) -> Vec<f64> {
     let nm = prior.spatial.n();
     let nt = prior.nt;
     let prior_var = prior.spatial.marginal_variance();
@@ -78,7 +73,13 @@ mod tests {
     use tsunami_hpc::TimerRegistry;
     use tsunami_linalg::random::seeded_rng;
 
-    fn setup() -> (TwinConfig, tsunami_solver::WaveSolver, Phase1, Phase2, SpaceTimePrior) {
+    fn setup() -> (
+        TwinConfig,
+        tsunami_solver::WaveSolver,
+        Phase1,
+        Phase2,
+        SpaceTimePrior,
+    ) {
         let cfg = TwinConfig::tiny();
         let solver = cfg.build_solver();
         let timers = TimerRegistry::new();

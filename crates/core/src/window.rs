@@ -148,7 +148,7 @@ mod tests {
     use crate::metrics::rel_l2;
     use crate::stprior::SpaceTimePrior;
     use crate::twin::DigitalTwin;
-    
+
     use tsunami_linalg::{Cholesky, LinearOperator};
 
     fn setup() -> DigitalTwin {
@@ -159,7 +159,9 @@ mod tests {
     fn full_window_matches_phase4_exactly() {
         let twin = setup();
         let nt = twin.solver.grid.nt_obs;
-        let d: Vec<f64> = (0..twin.n_data()).map(|i| (i as f64 * 0.21).sin()).collect();
+        let d: Vec<f64> = (0..twin.n_data())
+            .map(|i| (i as f64 * 0.21).sin())
+            .collect();
 
         let inf_full = twin.infer(&d);
         let inf_win = infer_window(&twin.phase1, &twin.phase2, &d, nt);

@@ -1,0 +1,286 @@
+//! Std-only stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The workspace is dependency-free by construction (the build environment
+//! has no registry access), but the benches under `crates/bench/benches/`
+//! are written against criterion's API so they can be run unmodified under
+//! the real harness wherever it is available. This shim implements the
+//! exact surface those benches use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{measurement_time,
+//! warm_up_time, sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `Bencher::iter`, `BenchmarkId::new`, and
+//! `Throughput` — with honest wall-clock measurement: each benchmark is
+//! warmed up, then timed over `sample_size` samples, and the per-iteration
+//! mean/min plus element throughput are printed to stdout.
+//!
+//! It is intentionally *not* a statistics engine: no outlier analysis, no
+//! saved baselines, no HTML reports. It exists so `cargo bench` works from
+//! PR 1 and hot-path regressions are visible as numbers in CI logs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendered into the printed label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("matvec", 96)` renders as `matvec/96`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare id with no parameter component.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion trait so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`], mirroring criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Throughput declaration; used to derive an elements/sec (or bytes/sec)
+/// rate from the measured per-iteration time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Warm the closure up, then record `sample_size` timed samples of one
+    /// call each. Return values are passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// One named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim times a fixed number of
+    /// samples rather than a wall-clock budget.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), f);
+        self
+    }
+
+    pub fn bench_with_input<ID: IntoBenchmarkId, I, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_benchmark_id(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.label, &bencher.samples, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each benchmark function by `criterion_group!`.
+pub struct Criterion {}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Self {}
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(group: &str, label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{label:<28} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.3} Kelem/s", n as f64 / mean.as_secs_f64() / 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!(
+                "  {:>12.3} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{group}/{label:<28} mean {:>12} min {:>12} ({} samples){rate}",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Mirrors criterion's macro: defines a function that runs each listed
+/// benchmark function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: the bench binary's `main` runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+            $crate::Criterion::new().final_summary();
+        }
+    };
+}

@@ -44,7 +44,10 @@ impl SeafloorCoupling {
     ) -> Self {
         assert!(gx > 0 && lx > 0.0);
         assert!(strike_speed > 0.0, "rupture must propagate along strike");
-        assert!((0.0..=1.0).contains(&hypo_frac), "hypocenter fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&hypo_frac),
+            "hypocenter fraction in [0,1]"
+        );
         let surface_cells = (0..gx)
             .map(|i| {
                 let x = (i as f64 + 0.5) * lx / gx as f64;
@@ -78,13 +81,19 @@ impl SeafloorCoupling {
         nt: usize,
         cadence: f64,
     ) -> Vec<f64> {
-        assert_eq!(self.surface_cells.len(), gx, "coupling built for a different gx");
         assert_eq!(
+            self.surface_cells.len(),
+            gx,
+            "coupling built for a different gx"
+        );
+        assert!(
             (solver.dt * solver.steps_per_bin as f64 - cadence).abs() < 1e-9 * cadence,
-            true,
             "acoustic cadence must match the elastic bin cadence"
         );
-        assert!(nt <= solver.nt_obs, "elastic horizon too short for {nt} bins");
+        assert!(
+            nt <= solver.nt_obs,
+            "elastic horizon too short for {nt} bins"
+        );
 
         // Surface vertical velocity of the section at every bin: run the
         // forward model once with the surface cells as QoI sites.
@@ -181,7 +190,10 @@ mod tests {
         let center = gy / 2;
         let t_center = first_active(center);
         let t_edge = first_active(gy - 1);
-        assert!(t_center <= t_edge, "strike propagation not causal: {t_center} vs {t_edge}");
+        assert!(
+            t_center <= t_edge,
+            "strike propagation not causal: {t_center} vs {t_edge}"
+        );
     }
 
     #[test]
@@ -202,7 +214,10 @@ mod tests {
         let center = row_energy(gy / 2);
         let edge = row_energy(0);
         assert!(center > 0.0);
-        assert!(edge < center, "ends must be tapered: edge {edge} vs center {center}");
+        assert!(
+            edge < center,
+            "ends must be tapered: edge {edge} vs center {center}"
+        );
     }
 
     #[test]

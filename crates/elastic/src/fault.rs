@@ -184,9 +184,8 @@ mod tests {
     fn deeper_patches_in_stiffer_rock_radiate_more() {
         let (grid, fields, fault) = setup();
         let st = fault.stencils(&grid, &fields, 1.5);
-        let total_moment = |patch: &PatchStencil| -> f64 {
-            patch.iter().map(|&(_, _, czz, _)| czz).sum()
-        };
+        let total_moment =
+            |patch: &PatchStencil| -> f64 { patch.iter().map(|&(_, _, czz, _)| czz).sum() };
         let shallow = total_moment(&st[0]).abs();
         let deep = total_moment(&st[fault.n_patches - 1]).abs();
         assert!(

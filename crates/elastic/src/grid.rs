@@ -29,8 +29,14 @@ impl ElasticGrid {
     /// and bottom edges, with peak damping strength `alpha` (a good default
     /// is 0.92–0.98; smaller damps harder).
     pub fn new(nx: usize, nz: usize, hx: f64, hz: f64, n_sponge: usize, alpha: f64) -> Self {
-        assert!(nx > 2 * n_sponge && nz > n_sponge, "sponge swallows the grid");
-        assert!(alpha > 0.0 && alpha <= 1.0, "damping factor must be in (0, 1]");
+        assert!(
+            nx > 2 * n_sponge && nz > n_sponge,
+            "sponge swallows the grid"
+        );
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "damping factor must be in (0, 1]"
+        );
         let mut sponge = vec![1.0; nx * nz];
         for j in 0..nz {
             for i in 0..nx {
@@ -134,7 +140,10 @@ mod tests {
         let g = ElasticGrid::new(30, 15, 400.0, 200.0, 4, 0.95);
         let dt = g.stable_dt(8000.0, 0.5);
         assert!((dt - 0.5 * 200.0 / (8000.0 * std::f64::consts::SQRT_2)).abs() < 1e-15);
-        assert!(g.stable_dt(4000.0, 0.5) > dt, "slower medium allows larger steps");
+        assert!(
+            g.stable_dt(4000.0, 0.5) > dt,
+            "slower medium allows larger steps"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl LayeredMedium {
                 return *l;
             }
         }
-        *self.layers.last().expect("medium must have at least one layer")
+        *self
+            .layers
+            .last()
+            .expect("medium must have at least one layer")
     }
 
     /// Fastest P speed anywhere — the CFL-relevant speed.
@@ -148,7 +151,10 @@ mod tests {
         let shallow = m.at(1_000.0);
         let mid = m.at(10_000.0);
         let deep = m.at(39_000.0);
-        assert!(shallow.vp < mid.vp && mid.vp < deep.vp, "speeds must increase downward");
+        assert!(
+            shallow.vp < mid.vp && mid.vp < deep.vp,
+            "speeds must increase downward"
+        );
         assert_eq!(m.vp_max(), deep.vp);
     }
 

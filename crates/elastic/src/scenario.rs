@@ -38,10 +38,7 @@ impl SlipScenario {
             rupture_speed: 2500.0,
             peak_slip: 6.0,
             stf: SourceTimeFunction::SinSquared { rise: 4.0 },
-            asperities: vec![
-                (0.3 * c, 0.22 * c, 1.0),
-                (0.72 * c, 0.16 * c, 0.65),
-            ],
+            asperities: vec![(0.3 * c, 0.22 * c, 1.0), (0.72 * c, 0.16 * c, 0.65)],
         }
     }
 
@@ -62,7 +59,13 @@ impl SlipScenario {
 
     /// The true slip-rate parameter vector (time-major, `Np` per bin):
     /// bin-averaged slip rate of each patch over `[i·Δ, (i+1)·Δ)`.
-    pub fn slip_rates(&self, n_patches: usize, patch_length: f64, cadence: f64, nt: usize) -> Vec<f64> {
+    pub fn slip_rates(
+        &self,
+        n_patches: usize,
+        patch_length: f64,
+        cadence: f64,
+        nt: usize,
+    ) -> Vec<f64> {
         let mut m = vec![0.0; n_patches * nt];
         for p in 0..n_patches {
             let t0 = self.arrival(p, patch_length);
@@ -105,7 +108,13 @@ impl SlipScenario {
     }
 
     /// Final slip per patch implied by the scenario over `nt` bins.
-    pub fn final_slip(&self, n_patches: usize, patch_length: f64, cadence: f64, nt: usize) -> Vec<f64> {
+    pub fn final_slip(
+        &self,
+        n_patches: usize,
+        patch_length: f64,
+        cadence: f64,
+        nt: usize,
+    ) -> Vec<f64> {
         let t_end = nt as f64 * cadence;
         (0..n_patches)
             .map(|p| {
@@ -238,8 +247,10 @@ mod tests {
             "100 km rupture: Mw {mw_short}"
         );
         assert!(mw_long > mw_short, "longer rupture must carry more moment");
-        assert!((mw_long - mw_short - (2.0 / 3.0)).abs() < 1e-9,
-            "10x area at fixed slip is exactly 2/3 of a magnitude unit");
+        assert!(
+            (mw_long - mw_short - (2.0 / 3.0)).abs() < 1e-9,
+            "10x area at fixed slip is exactly 2/3 of a magnitude unit"
+        );
     }
 
     #[test]

@@ -98,8 +98,8 @@ pub fn shake_map(
     for s in 0..nq {
         let mut vals: Vec<f64> = samples.iter().map(|p| p[s]).collect();
         let mean = vals.iter().sum::<f64>() / n_samples as f64;
-        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / (n_samples - 1) as f64;
+        let var =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n_samples - 1) as f64;
         vals.sort_by(|a, b| a.partial_cmp(b).expect("PGV values are finite"));
         let quant = |q: f64| -> f64 {
             let pos = q * (n_samples - 1) as f64;
@@ -168,8 +168,7 @@ mod tests {
         let sm_large = shake_map(&q_map, &large, nq, nt, 400, &mut rng);
         assert!(sm_large.pgv_std[0] > sm_small.pgv_std[0]);
         assert!(
-            sm_large.pgv_p95[0] - sm_large.pgv_p05[0]
-                > sm_small.pgv_p95[0] - sm_small.pgv_p05[0]
+            sm_large.pgv_p95[0] - sm_large.pgv_p05[0] > sm_small.pgv_p95[0] - sm_small.pgv_p05[0]
         );
     }
 

@@ -419,7 +419,9 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()
@@ -585,9 +587,7 @@ mod tests {
         }
         // Significant signal must exist by 1.6·t_p.
         let i_after = ((1.6 * t_p) / cadence).ceil() as usize;
-        let arrived = d[..(i_after.min(nt))]
-            .iter()
-            .any(|&v| v.abs() > 0.2 * peak);
+        let arrived = d[..(i_after.min(nt))].iter().any(|&v| v.abs() > 0.2 * peak);
         assert!(arrived, "P wave failed to arrive by {:.2}s", 1.6 * t_p);
     }
 

@@ -141,14 +141,8 @@ mod tests {
 
     #[test]
     fn flat_surface_area_exact() {
-        let mesh = HexMesh::terrain_following(
-            4,
-            3,
-            2,
-            4000.0,
-            3000.0,
-            &FlatBathymetry { depth: 1000.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(4, 3, 2, 4000.0, 3000.0, &FlatBathymetry { depth: 1000.0 });
         let h1 = H1Space::new(&mesh, 3);
         let sm = SurfaceMass::assemble(&mesh, &h1, BoundaryTag::Surface);
         assert!((sm.total_area() - 4000.0 * 3000.0).abs() < 1e-6 * 4000.0 * 3000.0);
@@ -168,14 +162,8 @@ mod tests {
 
     #[test]
     fn integrate_constant_equals_area() {
-        let mesh = HexMesh::terrain_following(
-            3,
-            3,
-            2,
-            3000.0,
-            3000.0,
-            &FlatBathymetry { depth: 600.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(3, 3, 2, 3000.0, 3000.0, &FlatBathymetry { depth: 600.0 });
         let h1 = H1Space::new(&mesh, 4);
         let sm = SurfaceMass::assemble(&mesh, &h1, BoundaryTag::Surface);
         let ones = vec![1.0; h1.n_dofs()];
@@ -184,14 +172,8 @@ mod tests {
 
     #[test]
     fn source_and_trace_are_adjoint() {
-        let mesh = HexMesh::terrain_following(
-            3,
-            2,
-            2,
-            3000.0,
-            2000.0,
-            &FlatBathymetry { depth: 500.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(3, 2, 2, 3000.0, 2000.0, &FlatBathymetry { depth: 500.0 });
         let h1 = H1Space::new(&mesh, 3);
         let sm = SurfaceMass::assemble(&mesh, &h1, BoundaryTag::Bottom);
         let m: Vec<f64> = (0..sm.len()).map(|i| (i as f64 * 0.3).sin()).collect();
@@ -207,14 +189,8 @@ mod tests {
 
     #[test]
     fn absorbing_covers_four_sides() {
-        let mesh = HexMesh::terrain_following(
-            3,
-            4,
-            2,
-            3000.0,
-            4000.0,
-            &FlatBathymetry { depth: 500.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(3, 4, 2, 3000.0, 4000.0, &FlatBathymetry { depth: 500.0 });
         let h1 = H1Space::new(&mesh, 2);
         let sm = SurfaceMass::assemble(&mesh, &h1, BoundaryTag::Absorbing);
         // Lateral area = perimeter × depth.

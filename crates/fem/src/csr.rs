@@ -111,11 +111,7 @@ mod tests {
     fn example() -> CsrMatrix {
         // [1 0 2]
         // [0 3 0]
-        CsrMatrix::from_rows(
-            2,
-            3,
-            vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]],
-        )
+        CsrMatrix::from_rows(2, 3, vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]])
     }
 
     #[test]

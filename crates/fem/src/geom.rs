@@ -224,13 +224,7 @@ mod tests {
         for qz in 0..4 {
             for qy in 0..4 {
                 for qx in 0..4 {
-                    let (jinv, jw) = geom_at(
-                        &coords,
-                        p[qx],
-                        p[qy],
-                        p[qz],
-                        w[qx] * w[qy] * w[qz],
-                    );
+                    let (jinv, jw) = geom_at(&coords, p[qx], p[qy], p[qz], w[qx] * w[qy] * w[qz]);
                     let f = g.at(e, q);
                     for a in 0..3 {
                         for b in 0..3 {

@@ -51,28 +51,25 @@ impl WaveKernel for MatrixFree {
         let nq3 = ctx.nq3();
         let np1 = ctx.h1.order + 1;
         let nq = ctx.nq1();
-        u_res
-            .par_chunks_mut(3 * nq3)
-            .enumerate()
-            .for_each_init(
-                || SumFacScratch::new(np1, nq),
-                |scratch, (e, u_elem)| {
-                    let (i, j, k) = ctx.mesh.elem_ijk(e);
-                    let coords = ctx.mesh.elem_coords(e);
-                    ctx.h1.gather(i, j, k, p, &mut scratch.p_local);
-                    ref_grad(&ctx.basis, scratch);
-                    for q in 0..nq3 {
-                        let (jinv, jw) = self.geom(&coords, q);
-                        let g0 = scratch.g[q];
-                        let g1 = scratch.g[nq3 + q];
-                        let g2 = scratch.g[2 * nq3 + q];
-                        for comp in 0..3 {
-                            u_elem[comp * nq3 + q] = jw
-                                * (jinv[0][comp] * g0 + jinv[1][comp] * g1 + jinv[2][comp] * g2);
-                        }
+        u_res.par_chunks_mut(3 * nq3).enumerate().for_each_init(
+            || SumFacScratch::new(np1, nq),
+            |scratch, (e, u_elem)| {
+                let (i, j, k) = ctx.mesh.elem_ijk(e);
+                let coords = ctx.mesh.elem_coords(e);
+                ctx.h1.gather(i, j, k, p, &mut scratch.p_local);
+                ref_grad(&ctx.basis, scratch);
+                for q in 0..nq3 {
+                    let (jinv, jw) = self.geom(&coords, q);
+                    let g0 = scratch.g[q];
+                    let g1 = scratch.g[nq3 + q];
+                    let g2 = scratch.g[2 * nq3 + q];
+                    for comp in 0..3 {
+                        u_elem[comp * nq3 + q] =
+                            jw * (jinv[0][comp] * g0 + jinv[1][comp] * g1 + jinv[2][comp] * g2);
                     }
-                },
-            );
+                }
+            },
+        );
     }
 
     fn apply_div(&self, u: &[f64], p_res: &mut [f64]) {
@@ -137,8 +134,8 @@ impl WaveKernel for MatrixFree {
                         let u1 = u[(e * 3 + 1) * nq3 + q];
                         let u2 = u[(e * 3 + 2) * nq3 + q];
                         for comp in 0..3 {
-                            u_global[(e * 3 + comp) * nq3 + q] = jw
-                                * (jinv[0][comp] * g0 + jinv[1][comp] * g1 + jinv[2][comp] * g2);
+                            u_global[(e * 3 + comp) * nq3 + q] =
+                                jw * (jinv[0][comp] * g0 + jinv[1][comp] * g1 + jinv[2][comp] * g2);
                         }
                         for a in 0..3 {
                             flux_g[a * nq3 + q] =

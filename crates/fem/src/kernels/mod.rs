@@ -100,7 +100,10 @@ pub struct KernelContext {
 impl KernelContext {
     /// Build for a mesh and pressure order `k ≥ 2` (velocity order `k−1`).
     pub fn new(mesh: Arc<HexMesh>, order: usize) -> Self {
-        assert!(order >= 2, "need order ≥ 2 so the velocity space is nonempty");
+        assert!(
+            order >= 2,
+            "need order ≥ 2 so the velocity space is nonempty"
+        );
         let h1 = H1Space::new(&mesh, order);
         let l2 = L2Space::new(&mesh, order - 1);
         let (gll_nodes, gll_wts) = gauss_lobatto(order + 1);
@@ -240,7 +243,9 @@ pub(crate) mod test_support {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()
@@ -303,7 +308,11 @@ mod tests {
                         .map(|(a, b)| (a - b).abs())
                         .fold(0.0, f64::max);
                     let scale = r.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-                    assert!(err < 1e-11 * scale.max(1.0), "{} grad differs: {err}", k.name());
+                    assert!(
+                        err < 1e-11 * scale.max(1.0),
+                        "{} grad differs: {err}",
+                        k.name()
+                    );
                 }
             }
         }
@@ -327,7 +336,11 @@ mod tests {
                         .map(|(a, b)| (a - b).abs())
                         .fold(0.0, f64::max);
                     let scale = r.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-                    assert!(err < 1e-11 * scale.max(1.0), "{} div differs: {err}", k.name());
+                    assert!(
+                        err < 1e-11 * scale.max(1.0),
+                        "{} div differs: {err}",
+                        k.name()
+                    );
                 }
             }
         }
@@ -336,7 +349,11 @@ mod tests {
     #[test]
     fn div_is_exact_transpose_of_grad() {
         let ctx = test_ctx(4);
-        for v in [KernelVariant::OptimizedPa, KernelVariant::FusedPa, KernelVariant::MatrixFree] {
+        for v in [
+            KernelVariant::OptimizedPa,
+            KernelVariant::FusedPa,
+            KernelVariant::MatrixFree,
+        ] {
             let k = make_kernel(v, ctx.clone());
             let p = pseudo(ctx.n_p(), 3);
             let w = pseudo(ctx.n_u(), 4);

@@ -158,28 +158,25 @@ impl WaveKernel for OptimizedPa {
         let nq3 = ctx.nq3();
         let np1 = ctx.h1.order + 1;
         let nq = ctx.nq1();
-        u_res
-            .par_chunks_mut(3 * nq3)
-            .enumerate()
-            .for_each_init(
-                || SumFacScratch::new(np1, nq),
-                |scratch, (e, u_elem)| {
-                    let (i, j, k) = ctx.mesh.elem_ijk(e);
-                    ctx.h1.gather(i, j, k, p, &mut scratch.p_local);
-                    ref_grad(&ctx.basis, scratch);
-                    for q in 0..nq3 {
-                        let f = ctx.geom.at(e, q);
-                        let jw = f[9];
-                        let g0 = scratch.g[q];
-                        let g1 = scratch.g[nq3 + q];
-                        let g2 = scratch.g[2 * nq3 + q];
-                        for comp in 0..3 {
-                            u_elem[comp * nq3 + q] =
-                                jw * (f[comp] * g0 + f[3 + comp] * g1 + f[6 + comp] * g2);
-                        }
+        u_res.par_chunks_mut(3 * nq3).enumerate().for_each_init(
+            || SumFacScratch::new(np1, nq),
+            |scratch, (e, u_elem)| {
+                let (i, j, k) = ctx.mesh.elem_ijk(e);
+                ctx.h1.gather(i, j, k, p, &mut scratch.p_local);
+                ref_grad(&ctx.basis, scratch);
+                for q in 0..nq3 {
+                    let f = ctx.geom.at(e, q);
+                    let jw = f[9];
+                    let g0 = scratch.g[q];
+                    let g1 = scratch.g[nq3 + q];
+                    let g2 = scratch.g[2 * nq3 + q];
+                    for comp in 0..3 {
+                        u_elem[comp * nq3 + q] =
+                            jw * (f[comp] * g0 + f[3 + comp] * g1 + f[6 + comp] * g2);
                     }
-                },
-            );
+                }
+            },
+        );
     }
 
     fn apply_div(&self, u: &[f64], p_res: &mut [f64]) {

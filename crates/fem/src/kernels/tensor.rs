@@ -247,12 +247,18 @@ mod tests {
                         for b in 0..np1 {
                             for a in 0..np1 {
                                 let pv = p_snapshot[(c * np1 + b) * np1 + a];
-                                expect[0] +=
-                                    bs.d[qx * np1 + a] * bs.b[qy * np1 + b] * bs.b[qz * np1 + c] * pv;
-                                expect[1] +=
-                                    bs.b[qx * np1 + a] * bs.d[qy * np1 + b] * bs.b[qz * np1 + c] * pv;
-                                expect[2] +=
-                                    bs.b[qx * np1 + a] * bs.b[qy * np1 + b] * bs.d[qz * np1 + c] * pv;
+                                expect[0] += bs.d[qx * np1 + a]
+                                    * bs.b[qy * np1 + b]
+                                    * bs.b[qz * np1 + c]
+                                    * pv;
+                                expect[1] += bs.b[qx * np1 + a]
+                                    * bs.d[qy * np1 + b]
+                                    * bs.b[qz * np1 + c]
+                                    * pv;
+                                expect[2] += bs.b[qx * np1 + a]
+                                    * bs.b[qy * np1 + b]
+                                    * bs.d[qz * np1 + c]
+                                    * pv;
                             }
                         }
                     }

@@ -18,6 +18,12 @@
 //! `MatrixFree`); all produce bit-compatible results and differ only in
 //! what they precompute, store, and fuse.
 
+// The workspace warns on `unsafe_code`; this crate is the one sanctioned
+// exception. The element kernels scatter into disjoint regions of shared
+// output buffers through a raw-pointer wrapper (`SendMutPtr`), the same
+// split-at-mut-style pattern rayon uses internally; everything else in the
+// workspace stays safe.
+#![allow(unsafe_code)]
 // Numeric kernels use index loops that mirror the tensor/math indices
 // of the discretizations; enumerate()-style rewrites obscure the formulas.
 #![allow(clippy::needless_range_loop)]

@@ -69,14 +69,8 @@ mod tests {
     fn reproduces_polynomial_field() {
         // Order-3 space represents x·y + z² exactly? z² yes (order ≥ 2),
         // cross terms yes. Evaluate at an interior point.
-        let mesh = HexMesh::terrain_following(
-            3,
-            3,
-            2,
-            3000.0,
-            3000.0,
-            &FlatBathymetry { depth: 600.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(3, 3, 2, 3000.0, 3000.0, &FlatBathymetry { depth: 600.0 });
         let h1 = H1Space::new(&mesh, 3);
         let (gll, _) = gauss_lobatto(4);
         let coords = h1.node_coords(&mesh, &gll);
@@ -85,19 +79,16 @@ mod tests {
         let pe = PointEvaluator::new(&mesh, &h1, 1717.0, 911.0, -123.0).unwrap();
         let got = pe.eval(&p);
         let want = f(&[1717.0, 911.0, -123.0]);
-        assert!((got - want).abs() < 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+        assert!(
+            (got - want).abs() < 1e-9 * want.abs().max(1.0),
+            "{got} vs {want}"
+        );
     }
 
     #[test]
     fn partition_of_unity_weights() {
-        let mesh = HexMesh::terrain_following(
-            2,
-            2,
-            2,
-            2000.0,
-            2000.0,
-            &FlatBathymetry { depth: 400.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(2, 2, 2, 2000.0, 2000.0, &FlatBathymetry { depth: 400.0 });
         let h1 = H1Space::new(&mesh, 4);
         let pe = PointEvaluator::new(&mesh, &h1, 777.0, 333.0, -111.0).unwrap();
         let s: f64 = pe.entries.iter().map(|&(_, c)| c).sum();
@@ -106,14 +97,8 @@ mod tests {
 
     #[test]
     fn eval_scatter_adjoint() {
-        let mesh = HexMesh::terrain_following(
-            2,
-            2,
-            1,
-            2000.0,
-            2000.0,
-            &FlatBathymetry { depth: 300.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(2, 2, 1, 2000.0, 2000.0, &FlatBathymetry { depth: 300.0 });
         let h1 = H1Space::new(&mesh, 2);
         let pe = PointEvaluator::new(&mesh, &h1, 500.0, 1500.0, -150.0).unwrap();
         let p: Vec<f64> = (0..h1.n_dofs()).map(|i| (i as f64 * 0.21).sin()).collect();
@@ -139,14 +124,8 @@ mod tests {
 
     #[test]
     fn outside_point_is_none() {
-        let mesh = HexMesh::terrain_following(
-            2,
-            2,
-            1,
-            2000.0,
-            2000.0,
-            &FlatBathymetry { depth: 300.0 },
-        );
+        let mesh =
+            HexMesh::terrain_following(2, 2, 1, 2000.0, 2000.0, &FlatBathymetry { depth: 300.0 });
         let h1 = H1Space::new(&mesh, 2);
         assert!(PointEvaluator::new(&mesh, &h1, -5.0, 0.0, -10.0).is_none());
     }

@@ -23,7 +23,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
         n as f64 * (x * p - p_prev) / (x * x - 1.0)
     } else {
         // Endpoint limit: P_n'(±1) = ±1^{n-1} n(n+1)/2.
-        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 - 1)
+        };
         sign * n as f64 * (n as f64 + 1.0) / 2.0
     };
     (p, dp)
@@ -158,11 +162,17 @@ mod tests {
                 assert!(w[0] < w[1]);
             }
             for i in 0..n {
-                assert!((p[i] + p[n - 1 - i]).abs() < 1e-13, "GL asymmetric at n={n}");
+                assert!(
+                    (p[i] + p[n - 1 - i]).abs() < 1e-13,
+                    "GL asymmetric at n={n}"
+                );
             }
             let (pl, _) = gauss_lobatto(n.max(2));
             for i in 0..pl.len() {
-                assert!((pl[i] + pl[pl.len() - 1 - i]).abs() < 1e-13, "GLL asymmetric");
+                assert!(
+                    (pl[i] + pl[pl.len() - 1 - i]).abs() < 1e-13,
+                    "GLL asymmetric"
+                );
             }
         }
     }

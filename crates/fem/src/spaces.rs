@@ -123,12 +123,8 @@ impl H1Space {
                         for b in 0..=self.order {
                             for a in 0..=self.order {
                                 let gid = self.elem_dof(i, j, k, a, b, c);
-                                coords[gid] = mesh.map_point(
-                                    e,
-                                    gll_nodes[a],
-                                    gll_nodes[b],
-                                    gll_nodes[c],
-                                );
+                                coords[gid] =
+                                    mesh.map_point(e, gll_nodes[a], gll_nodes[b], gll_nodes[c]);
                             }
                         }
                     }

@@ -83,7 +83,9 @@ impl Bluestein {
         assert_eq!(x.len(), self.n);
         let conj_in: Vec<C64> = x.iter().map(|z| z.conj()).collect();
         let y = self.forward(&conj_in);
-        y.into_iter().map(|z| z.conj().scale(1.0 / self.n as f64)).collect()
+        y.into_iter()
+            .map(|z| z.conj().scale(1.0 / self.n as f64))
+            .collect()
     }
 }
 

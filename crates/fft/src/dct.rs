@@ -137,7 +137,8 @@ impl Dct2d {
         let mut tmp = vec![0.0; grid.len()];
         for r in 0..self.ny {
             let row = &grid[r * self.nx..(r + 1) * self.nx];
-            tmp[r * self.nx..(r + 1) * self.nx].copy_from_slice(&Self::dct2_with(&self.plan_x, row));
+            tmp[r * self.nx..(r + 1) * self.nx]
+                .copy_from_slice(&Self::dct2_with(&self.plan_x, row));
         }
         // Transform columns.
         let mut out = vec![0.0; grid.len()];
@@ -171,7 +172,8 @@ impl Dct2d {
         let mut out = vec![0.0; grid.len()];
         for r in 0..self.ny {
             let row = &tmp[r * self.nx..(r + 1) * self.nx];
-            out[r * self.nx..(r + 1) * self.nx].copy_from_slice(&Self::dct3_with(&self.plan_x, row));
+            out[r * self.nx..(r + 1) * self.nx]
+                .copy_from_slice(&Self::dct3_with(&self.plan_x, row));
         }
         out
     }
@@ -236,7 +238,9 @@ mod tests {
     #[test]
     fn dct2d_roundtrip() {
         let (ny, nx) = (7, 11);
-        let grid: Vec<f64> = (0..ny * nx).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let grid: Vec<f64> = (0..ny * nx)
+            .map(|i| ((i * i) as f64 * 0.013).sin())
+            .collect();
         let d = Dct2d::new(ny, nx);
         let back = d.inverse(&d.forward(&grid));
         for (a, b) in grid.iter().zip(&back) {

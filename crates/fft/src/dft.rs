@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn idft_inverts_dft() {
-        let x: Vec<C64> = (0..7).map(|i| C64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let x: Vec<C64> = (0..7)
+            .map(|i| C64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let y = naive_idft(&naive_dft(&x));
         for (a, b) in x.iter().zip(&y) {
             assert!((*a - *b).abs() < 1e-12);

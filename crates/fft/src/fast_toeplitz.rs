@@ -26,7 +26,7 @@
 use crate::plan::FftPlan;
 use crate::toeplitz::BlockToeplitz;
 use rayon::prelude::*;
-use tsunami_linalg::{C64, DMatrix};
+use tsunami_linalg::{DMatrix, C64};
 
 /// FFT-form of a block lower-triangular Toeplitz operator.
 pub struct FftBlockToeplitz {
@@ -130,8 +130,8 @@ impl FftBlockToeplitz {
         let yhat: Vec<Vec<C64>> = (0..self.len)
             .into_par_iter()
             .map(|f| {
-                let blk = &self.spectra[f * self.out_dim * self.in_dim
-                    ..(f + 1) * self.out_dim * self.in_dim];
+                let blk = &self.spectra
+                    [f * self.out_dim * self.in_dim..(f + 1) * self.out_dim * self.in_dim];
                 let mut out = vec![C64::ZERO; self.out_dim];
                 for (r, o) in out.iter_mut().enumerate() {
                     let row = &blk[r * self.in_dim..(r + 1) * self.in_dim];
@@ -177,8 +177,8 @@ impl FftBlockToeplitz {
         let uhat: Vec<Vec<C64>> = (0..self.len)
             .into_par_iter()
             .map(|f| {
-                let blk = &self.spectra[f * self.out_dim * self.in_dim
-                    ..(f + 1) * self.out_dim * self.in_dim];
+                let blk = &self.spectra
+                    [f * self.out_dim * self.in_dim..(f + 1) * self.out_dim * self.in_dim];
                 let mut out = vec![C64::ZERO; self.in_dim];
                 for r in 0..self.out_dim {
                     let row = &blk[r * self.in_dim..(r + 1) * self.in_dim];
@@ -354,7 +354,9 @@ mod tests {
         let blocks = (0..nt)
             .map(|_| {
                 DMatrix::from_fn(out_dim, in_dim, |_, _| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
                 })
             })

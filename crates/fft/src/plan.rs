@@ -18,7 +18,10 @@ pub struct FftPlan {
 impl FftPlan {
     /// Create a plan for length `n` (must be a power of two, `n ≥ 1`).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FftPlan: length {n} is not a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "FftPlan: length {n} is not a power of two"
+        );
         let log2n = n.trailing_zeros();
         let twiddles = (0..n / 2)
             .map(|k| C64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
@@ -30,7 +33,11 @@ impl FftPlan {
         if n == 1 {
             bitrev[0] = 0;
         }
-        FftPlan { n, twiddles, bitrev }
+        FftPlan {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// Transform length.
@@ -129,9 +136,13 @@ mod tests {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let im = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 C64::new(re, im)
             })
@@ -139,7 +150,10 @@ mod tests {
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -197,7 +211,11 @@ mod tests {
         plan.forward(&mut fa);
         let mut fb = b.clone();
         plan.forward(&mut fb);
-        let mut ab: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x * 2.0 + *y * -3.0).collect();
+        let mut ab: Vec<C64> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| *x * 2.0 + *y * -3.0)
+            .collect();
         plan.forward(&mut ab);
         for i in 0..n {
             let expect = fa[i] * 2.0 + fb[i] * -3.0;

@@ -187,12 +187,19 @@ impl BlockToeplitz {
 mod tests {
     use super::*;
 
-    pub(crate) fn random_toeplitz(nt: usize, out_dim: usize, in_dim: usize, seed: u64) -> BlockToeplitz {
+    pub(crate) fn random_toeplitz(
+        nt: usize,
+        out_dim: usize,
+        in_dim: usize,
+        seed: u64,
+    ) -> BlockToeplitz {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let blocks = (0..nt)
             .map(|_| {
                 DMatrix::from_fn(out_dim, in_dim, |_, _| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
                 })
             })

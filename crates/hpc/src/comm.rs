@@ -63,8 +63,9 @@ impl CommModel {
             .max()
             .unwrap_or(0);
         let local_dofs = local_elems * dofs_per_elem;
-        let compute =
-            local_dofs as f64 * self.machine.sec_per_dof_at(local_dofs) * applications_per_step as f64;
+        let compute = local_dofs as f64
+            * self.machine.sec_per_dof_at(local_dofs)
+            * applications_per_step as f64;
         compute + self.halo_time_per_step(part, dofs_per_face, applications_per_step)
     }
 
@@ -104,7 +105,16 @@ mod tests {
     #[test]
     fn single_rank_has_zero_halo_time() {
         let m = CommModel::new(EL_CAPITAN);
-        let part = Partition::new(RankGrid { px: 1, py: 1, pz: 1 }, 16, 16, 16);
+        let part = Partition::new(
+            RankGrid {
+                px: 1,
+                py: 1,
+                pz: 1,
+            },
+            16,
+            16,
+            16,
+        );
         assert_eq!(m.halo_time_per_step(&part, 25, 4), 0.0);
     }
 
@@ -115,13 +125,7 @@ mod tests {
         let m = CommModel::new(EL_CAPITAN);
         let per_rank = 32usize; // 32^3 elems per rank
         let t1 = m.step_time_auto(4, (per_rank, per_rank, per_rank), 350, 25, 4);
-        let t128 = m.step_time_auto(
-            512,
-            (per_rank * 8, per_rank * 4, per_rank * 4),
-            350,
-            25,
-            4,
-        );
+        let t128 = m.step_time_auto(512, (per_rank * 8, per_rank * 4, per_rank * 4), 350, 25, 4);
         let eff = t1 / t128;
         assert!(eff > 0.7 && eff <= 1.0, "weak efficiency {eff}");
     }
@@ -134,6 +138,9 @@ mod tests {
         let t256 = m.step_time_auto(256, elems, 350, 25, 4);
         let speedup = t4 / t256;
         assert!(speedup > 10.0, "speedup {speedup}");
-        assert!(speedup < 64.0, "superlinear speedup is a model bug: {speedup}");
+        assert!(
+            speedup < 64.0,
+            "superlinear speedup is a model bug: {speedup}"
+        );
     }
 }

@@ -83,7 +83,7 @@ pub const EL_CAPITAN: Machine = Machine {
     gpus_per_node: 4,
     peak_flops_per_gpu: 61.3e12,
     mem_per_gpu: 128 * (1 << 30),
-    gdofs_per_gpu: 24.0e9, // Fig 7: Fused PA peak ≈ 24 GDOF/s
+    gdofs_per_gpu: 24.0e9,   // Fig 7: Fused PA peak ≈ 24 GDOF/s
     node_bandwidth: 100.0e9, // 4 × 200 Gb/s NICs
     latency: 2.0e-6,
     contention: 1.385,

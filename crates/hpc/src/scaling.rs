@@ -191,7 +191,15 @@ impl ScalingStudy {
     pub fn report(&self, kind: &str) -> String {
         let mut out = format!(
             "{} {} scaling\n{:>8} {:>14} {:>16} {:>14} {:>12} {:>12} {:>10}\n",
-            self.machine.name, kind, "GPUs", "grid", "total DOF", "DOF/GPU", "compute(s)", "comm(s)", "step(s)"
+            self.machine.name,
+            kind,
+            "GPUs",
+            "grid",
+            "total DOF",
+            "DOF/GPU",
+            "compute(s)",
+            "comm(s)",
+            "step(s)"
         );
         for p in &self.points {
             out.push_str(&format!(
@@ -245,7 +253,10 @@ mod tests {
         let eff = s.weak_efficiency();
         assert!((eff[0] - 1.0).abs() < 1e-12);
         for w in eff.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "efficiency should not increase: {eff:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "efficiency should not increase: {eff:?}"
+            );
         }
         assert!(*eff.last().unwrap() > 0.6, "{eff:?}");
     }

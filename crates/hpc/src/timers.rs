@@ -93,10 +93,17 @@ impl TimerRegistry {
     pub fn report(&self) -> String {
         let rows = self.snapshot();
         let total: f64 = rows.iter().map(|r| r.1).sum();
-        let mut out = String::from("Timer                          Seconds      Calls   % of total\n");
+        let mut out =
+            String::from("Timer                          Seconds      Calls   % of total\n");
         for (name, secs, calls) in &rows {
-            let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
-            out.push_str(&format!("{name:<28} {secs:>10.4}  {calls:>8}   {pct:>8.2}%\n"));
+            let pct = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{name:<28} {secs:>10.4}  {calls:>8}   {pct:>8.2}%\n"
+            ));
         }
         out.push_str(&format!("{:<28} {total:>10.4}\n", "TOTAL"));
         out

@@ -154,7 +154,12 @@ where
 }
 
 /// Solve with a zero initial guess, allocating the solution.
-pub fn cg_solve_fresh<A, M>(a: &A, m: Option<&M>, b: &[f64], opts: &CgOptions) -> (Vec<f64>, CgResult)
+pub fn cg_solve_fresh<A, M>(
+    a: &A,
+    m: Option<&M>,
+    b: &[f64],
+    opts: &CgOptions,
+) -> (Vec<f64>, CgResult)
 where
     A: LinearOperator + ?Sized,
     M: LinearOperator + ?Sized,

@@ -289,7 +289,9 @@ mod tests {
     fn spd(n: usize, seed: u64) -> DMatrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let m = DMatrix::from_fn(n, n, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         let mut a = m.matmul_nt(&m);
@@ -384,7 +386,10 @@ mod tests {
             let mut x = b.clone();
             ch.solve_leading_in_place(k, &mut x);
             for (u, v) in x.iter().zip(&x_ref) {
-                assert!((u - v).abs() < 1e-10 * v.abs().max(1e-12), "k={k}: {u} vs {v}");
+                assert!(
+                    (u - v).abs() < 1e-10 * v.abs().max(1e-12),
+                    "k={k}: {u} vs {v}"
+                );
             }
         }
     }

@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn cis_is_unit() {
         for k in 0..16 {
-            let z = C64::cis(k as f64 * 0.39269908169872414);
+            let z = C64::cis(k as f64 * std::f64::consts::FRAC_PI_8);
             assert!((z.abs() - 1.0).abs() < 1e-14);
         }
     }

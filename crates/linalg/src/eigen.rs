@@ -111,7 +111,9 @@ mod tests {
         let n = 24;
         let mut s = 7u64;
         let m = DMatrix::from_fn(n, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         let mut a = m.matmul_nt(&m);
@@ -131,7 +133,9 @@ mod tests {
         let (n, r) = (20, 4);
         let mut s = 3u64;
         let b = DMatrix::from_fn(n, r, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         let mut a = b.matmul_nt(&b);
@@ -145,7 +149,9 @@ mod tests {
         let n = 15;
         let mut s = 11u64;
         let m = DMatrix::from_fn(n, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         let mut a = m.matmul_nt(&m);

@@ -23,8 +23,8 @@
 
 pub mod cg;
 pub mod cholesky;
-pub mod eigen;
 pub mod complex;
+pub mod eigen;
 pub mod matrix;
 pub mod operator;
 pub mod random;
@@ -32,7 +32,7 @@ pub mod vec_ops;
 
 pub use cg::{cg_solve, CgOptions, CgResult};
 pub use cholesky::Cholesky;
-pub use eigen::{effective_rank, symmetric_eigenvalues};
 pub use complex::C64;
+pub use eigen::{effective_rank, symmetric_eigenvalues};
 pub use matrix::DMatrix;
 pub use operator::{DenseOperator, DiagonalOperator, IdentityOperator, LinearOperator};

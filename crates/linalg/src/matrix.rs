@@ -275,7 +275,9 @@ impl DMatrix {
 
     /// Main diagonal.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Add `alpha` to the diagonal (e.g. `K ← K + σ² I`).
@@ -310,8 +312,15 @@ impl fmt::Debug for DMatrix {
         let show = self.rows.min(8);
         for i in 0..show {
             let cols = self.cols.min(8);
-            let row: Vec<String> = (0..cols).map(|j| format!("{:10.4e}", self[(i, j)])).collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            let row: Vec<String> = (0..cols)
+                .map(|j| format!("{:10.4e}", self[(i, j)]))
+                .collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;
@@ -328,7 +337,9 @@ mod tests {
         // Cheap deterministic LCG so tests don't need the rand crate here.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         DMatrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
     }

@@ -73,7 +73,10 @@ mod tests {
         let n = 100_000;
         let v = randn_vec(&mut seeded_rng(1), n);
         let frac = v.iter().filter(|x| x.abs() > 3.0).count() as f64 / n as f64;
-        assert!(frac > 0.0005 && frac < 0.008, "3-sigma tail fraction {frac}");
+        assert!(
+            frac > 0.0005 && frac < 0.008,
+            "3-sigma tail fraction {frac}"
+        );
     }
 
     #[test]

@@ -109,6 +109,9 @@ mod tests {
         let b = CascadiaBathymetry::standard(250e3, 1000e3);
         let d1 = b.depth(50e3, 160e3);
         let d2 = b.depth(50e3, 500e3);
-        assert!((d1 - d2).abs() > 1.0, "no along-strike variation: {d1} vs {d2}");
+        assert!(
+            (d1 - d2).abs() > 1.0,
+            "no along-strike variation: {d1} vs {d2}"
+        );
     }
 }

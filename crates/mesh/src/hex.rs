@@ -89,27 +89,59 @@ impl HexMesh {
                 for i in 0..nx {
                     let e = (k * ny + j) * nx + i;
                     if i == 0 {
-                        boundary.push(BoundaryFace { elem: e, local_face: 0, tag: BoundaryTag::Absorbing });
+                        boundary.push(BoundaryFace {
+                            elem: e,
+                            local_face: 0,
+                            tag: BoundaryTag::Absorbing,
+                        });
                     }
                     if i == nx - 1 {
-                        boundary.push(BoundaryFace { elem: e, local_face: 1, tag: BoundaryTag::Absorbing });
+                        boundary.push(BoundaryFace {
+                            elem: e,
+                            local_face: 1,
+                            tag: BoundaryTag::Absorbing,
+                        });
                     }
                     if j == 0 {
-                        boundary.push(BoundaryFace { elem: e, local_face: 2, tag: BoundaryTag::Absorbing });
+                        boundary.push(BoundaryFace {
+                            elem: e,
+                            local_face: 2,
+                            tag: BoundaryTag::Absorbing,
+                        });
                     }
                     if j == ny - 1 {
-                        boundary.push(BoundaryFace { elem: e, local_face: 3, tag: BoundaryTag::Absorbing });
+                        boundary.push(BoundaryFace {
+                            elem: e,
+                            local_face: 3,
+                            tag: BoundaryTag::Absorbing,
+                        });
                     }
                     if k == 0 {
-                        boundary.push(BoundaryFace { elem: e, local_face: 4, tag: BoundaryTag::Bottom });
+                        boundary.push(BoundaryFace {
+                            elem: e,
+                            local_face: 4,
+                            tag: BoundaryTag::Bottom,
+                        });
                     }
                     if k == nz - 1 {
-                        boundary.push(BoundaryFace { elem: e, local_face: 5, tag: BoundaryTag::Surface });
+                        boundary.push(BoundaryFace {
+                            elem: e,
+                            local_face: 5,
+                            tag: BoundaryTag::Surface,
+                        });
                     }
                 }
             }
         }
-        HexMesh { nx, ny, nz, lx, ly, verts, boundary }
+        HexMesh {
+            nx,
+            ny,
+            nz,
+            lx,
+            ly,
+            verts,
+            boundary,
+        }
     }
 
     /// Total element count.
@@ -405,7 +437,10 @@ mod tests {
         let m = small_mesh();
         assert!(m.locate_point(-100.0, 0.0, -10.0).is_none());
         assert!(m.locate_point(1e9, 0.0, -10.0).is_none());
-        assert!(m.locate_point(100.0, 100.0, 100.0).is_none(), "above surface");
+        assert!(
+            m.locate_point(100.0, 100.0, 100.0).is_none(),
+            "above surface"
+        );
     }
 
     #[test]

@@ -29,7 +29,13 @@ impl RankGrid {
     /// `ex × ey × ez`-element mesh, minimizing total halo surface (the sum
     /// over cuts of the cut-plane areas). `pz_fixed` pins the z-extent of
     /// the grid (the paper uses the 4 GPUs of a node vertically).
-    pub fn auto(n_ranks: usize, ex: usize, ey: usize, ez: usize, pz_fixed: Option<usize>) -> RankGrid {
+    pub fn auto(
+        n_ranks: usize,
+        ex: usize,
+        ey: usize,
+        ez: usize,
+        pz_fixed: Option<usize>,
+    ) -> RankGrid {
         assert!(n_ranks >= 1);
         let mut best: Option<(f64, RankGrid)> = None;
         let pz_candidates: Vec<usize> = match pz_fixed {
@@ -176,11 +182,7 @@ impl Partition {
         let ix = r % self.grid.px;
         let jy = (r / self.grid.px) % self.grid.py;
         let kz = r / (self.grid.px * self.grid.py);
-        let (dx, dy, dz) = (
-            b.x.1 - b.x.0,
-            b.y.1 - b.y.0,
-            b.z.1 - b.z.0,
-        );
+        let (dx, dy, dz) = (b.x.1 - b.x.0, b.y.1 - b.y.0, b.z.1 - b.z.0);
         let mut faces = 0;
         if ix > 0 {
             faces += dy * dz;
@@ -233,7 +235,11 @@ mod tests {
 
     #[test]
     fn partition_covers_all_elements_once() {
-        let g = RankGrid { px: 3, py: 2, pz: 2 };
+        let g = RankGrid {
+            px: 3,
+            py: 2,
+            pz: 2,
+        };
         let p = Partition::new(g, 10, 7, 5);
         let total: usize = p.boxes.iter().map(RankBox::n_elems).sum();
         assert_eq!(total, 10 * 7 * 5);
@@ -242,7 +248,11 @@ mod tests {
 
     #[test]
     fn imbalance_near_one_for_divisible() {
-        let g = RankGrid { px: 2, py: 2, pz: 2 };
+        let g = RankGrid {
+            px: 2,
+            py: 2,
+            pz: 2,
+        };
         let p = Partition::new(g, 8, 8, 8);
         assert!((p.imbalance() - 1.0).abs() < 1e-12);
     }
@@ -251,7 +261,14 @@ mod tests {
     fn auto_prefers_cube_like_cuts() {
         // For a cubic mesh, an 8-rank grid should be 2x2x2, not 8x1x1.
         let g = RankGrid::auto(8, 64, 64, 64, None);
-        assert_eq!(g, RankGrid { px: 2, py: 2, pz: 2 });
+        assert_eq!(
+            g,
+            RankGrid {
+                px: 2,
+                py: 2,
+                pz: 2
+            }
+        );
     }
 
     #[test]
@@ -267,19 +284,34 @@ mod tests {
     fn auto_reproduces_el_capitan_grid_shape() {
         // Table II: 340 GPUs on a margin-shaped mesh → 5 × 17 × 4.
         let g = RankGrid::auto(340, 640, 2176, 16, Some(4));
-        assert_eq!(g, RankGrid { px: 5, py: 17, pz: 4 });
+        assert_eq!(
+            g,
+            RankGrid {
+                px: 5,
+                py: 17,
+                pz: 4
+            }
+        );
     }
 
     #[test]
     fn halo_bytes_positive_for_multirank() {
-        let g = RankGrid { px: 2, py: 1, pz: 1 };
+        let g = RankGrid {
+            px: 2,
+            py: 1,
+            pz: 1,
+        };
         let p = Partition::new(g, 8, 4, 4);
         assert!(p.max_halo_bytes(25) > 0);
     }
 
     #[test]
     fn single_rank_has_no_halo() {
-        let g = RankGrid { px: 1, py: 1, pz: 1 };
+        let g = RankGrid {
+            px: 1,
+            py: 1,
+            pz: 1,
+        };
         let p = Partition::new(g, 8, 4, 4);
         assert_eq!(p.max_halo_bytes(25), 0);
     }

@@ -127,8 +127,7 @@ mod tests {
                 x[j * a.gx + i] = (std::f64::consts::PI * kx as f64 * (2 * i + 1) as f64
                     / (2.0 * a.gx as f64))
                     .cos()
-                    * (std::f64::consts::PI * ky as f64 * (2 * j + 1) as f64
-                        / (2.0 * a.gy as f64))
+                    * (std::f64::consts::PI * ky as f64 * (2 * j + 1) as f64 / (2.0 * a.gy as f64))
                         .cos();
             }
         }

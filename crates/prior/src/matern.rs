@@ -34,7 +34,12 @@ impl MaternPrior {
                 eig[ky * op.gx + kx] = op.eigenvalue(kx, ky);
             }
         }
-        MaternPrior { op, scale, dct, eig }
+        MaternPrior {
+            op,
+            scale,
+            dct,
+            eig,
+        }
     }
 
     /// Construct with physical hyperparameters: correlation length `ell`
@@ -180,7 +185,11 @@ impl MaternPrior {
 fn dct_sq_table(n: usize) -> Vec<f64> {
     let mut t = vec![0.0; n * n];
     for k in 0..n {
-        let s = if k == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
+        let s = if k == 0 {
+            1.0 / n as f64
+        } else {
+            2.0 / n as f64
+        };
         for i in 0..n {
             let c = (std::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2.0 * n as f64)).cos();
             t[k * n + i] = s * c * c;
@@ -324,6 +333,10 @@ mod tests {
         p.apply_cov(&e, &mut row);
         let near = row[center + 1].abs();
         let far = row[(p.op.gy / 2) * p.op.gx].abs(); // left edge, same row
-        assert!(row[center] > near && near > far, "no spatial decay: {} {near} {far}", row[center]);
+        assert!(
+            row[center] > near && near > far,
+            "no spatial decay: {} {near} {far}",
+            row[center]
+        );
     }
 }

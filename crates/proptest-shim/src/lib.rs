@@ -1,0 +1,452 @@
+//! Std-only stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`Just`], `proptest::collection::vec`, the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for a registry-free build:
+//! random inputs come from a fixed-seed xoshiro-style generator (fully
+//! deterministic run-to-run), and failing cases are reported with their
+//! case number but **not shrunk**. Each generated case is independent;
+//! `prop_assume!` skips the case rather than resampling.
+
+use std::ops::Range;
+
+/// Deterministic word generator for test-case synthesis (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x6A09E667F3BCC909,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// How many random cases each `#[test]` inside [`proptest!`] runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy: Sized {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 strategy range");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32, u16, i16, u8, i8);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// `proptest::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Outcome of one generated case's body.
+pub type TestCaseResult = Result<(), String>;
+
+/// Run one test's cases: generate inputs, run the body, panic with the
+/// case number and message on the first failure. Called by [`proptest!`].
+pub fn run_cases<S, F>(test_name: &str, config: &ProptestConfig, strategy: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    // Per-test deterministic stream: derive the seed from the test name so
+    // sibling tests in one proptest! block explore different inputs.
+    let seed = test_name.bytes().fold(0xCBF29CE484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001B3)
+    });
+    let mut rng = TestRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let input = strategy.generate(&mut rng);
+        if let Err(msg) = body(input) {
+            panic!(
+                "proptest {test_name}: case {case}/{} failed: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseResult,
+    };
+}
+
+/// Assert inside a proptest body; failure fails the case with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond),
+                format_args!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "prop_assert_eq: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            // Upstream resamples; the shim counts the case as vacuously
+            // passing, which is sound (never hides a failure).
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The test-definition macro. Supports the two forms used in this
+/// workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(pattern in strategy, x in 0usize..10) { ... }
+/// }
+/// ```
+///
+/// and the same without the inner config attribute (256 cases).
+///
+/// The argument list is token-munched (`__pt_args!`) rather than matched
+/// with `:expr` fragments because strategy expressions would otherwise be
+/// followed by `)` — outside the `expr` follow set. Each pattern is a
+/// single token tree (an identifier or a parenthesized pattern), which is
+/// all proptest-style signatures produce.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__pt_fns!( ($config) $($rest)* );
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__pt_fns!( ($crate::ProptestConfig::default()) $($rest)* );
+    };
+}
+
+/// One `#[test] fn` per input fn; arguments handed to `__pt_args!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_fns {
+    ( $cfg:tt ) => {};
+    ( $cfg:tt
+      $(#[$meta:meta])*
+      fn $name:ident ( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            $crate::__pt_args!( [] ( $($args)* ) $cfg $name $body );
+        }
+        $crate::__pt_fns!( $cfg $($rest)* );
+    };
+}
+
+/// Munch `pat in strategy, …` into `{ pat [strategy tokens] }` pairs.
+/// Commas inside parenthesized/bracketed strategy sub-expressions are
+/// invisible here (a delimited group is one token tree), so only
+/// top-level commas split pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_args {
+    // All arguments consumed (covers a trailing comma) → run.
+    ( [$($pairs:tt)*] () $cfg:tt $name:ident $body:block ) => {
+        $crate::__pt_run!( [$($pairs)*] $cfg $name $body );
+    };
+    // Start the next `pat in strategy` pair.
+    ( [$($pairs:tt)*] ( $pat:tt in $($rest:tt)* ) $cfg:tt $name:ident $body:block ) => {
+        $crate::__pt_args!( @strat [$($pairs)*] $pat [] ( $($rest)* ) $cfg $name $body );
+    };
+    // Top-level comma closes the current pair.
+    ( @strat [$($pairs:tt)*] $pat:tt [$($s:tt)+] ( , $($rest:tt)* ) $cfg:tt $name:ident $body:block ) => {
+        $crate::__pt_args!( [$($pairs)* { $pat [$($s)+] }] ( $($rest)* ) $cfg $name $body );
+    };
+    // Any other token joins the current strategy expression.
+    ( @strat [$($pairs:tt)*] $pat:tt [$($s:tt)*] ( $t:tt $($rest:tt)* ) $cfg:tt $name:ident $body:block ) => {
+        $crate::__pt_args!( @strat [$($pairs)*] $pat [$($s)* $t] ( $($rest)* ) $cfg $name $body );
+    };
+    // Out of tokens: close the final pair → run.
+    ( @strat [$($pairs:tt)*] $pat:tt [$($s:tt)+] () $cfg:tt $name:ident $body:block ) => {
+        $crate::__pt_run!( [$($pairs)* { $pat [$($s)+] }] $cfg $name $body );
+    };
+}
+
+/// Assemble the strategy tuple and case-runner call from munched pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_run {
+    ( [$( { $pat:tt [$($s:tt)+] } )+] ($config:expr) $name:ident $body:block ) => {
+        let config: $crate::ProptestConfig = $config;
+        let strategy = ( $( $($s)+ , )+ );
+        $crate::run_cases(
+            stringify!($name),
+            &config,
+            strategy,
+            |( $($pat,)+ )| -> $crate::TestCaseResult {
+                $body
+                ::std::result::Result::Ok(())
+            },
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_strategy_respect_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        let s = collection::vec(-1.0f64..1.0, 3usize..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains_dependent_strategies() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let s = (1usize..5).prop_flat_map(|n| (collection::vec(0.0f64..1.0, n), Just(n)));
+        for _ in 0..100 {
+            let (v, n) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_generates_in_range(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_form_without_config((a, b) in (0u64..5, 0u64..5)) {
+            prop_assume!(a <= b); // exercise the skip path on roughly half the cases
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

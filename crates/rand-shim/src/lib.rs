@@ -1,0 +1,262 @@
+//! Std-only stand-in for the crates.io `rand` crate (rand 0.9 naming).
+//!
+//! The workspace builds without registry access, so this shim provides the
+//! exact surface the twin uses: a seedable deterministic generator
+//! ([`rngs::StdRng`]), the [`SeedableRng`] and [`RngExt`] traits, and
+//! slice sampling via [`prelude::IndexedRandom`]. The generator is
+//! xoshiro256++ seeded through SplitMix64 — not ChaCha12 like upstream
+//! `StdRng`, so streams differ from real `rand`, but every use in this
+//! repository only requires determinism-for-a-seed, which holds.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words. Object-safe so `&mut dyn`-style and
+/// `R: RngCore + ?Sized` bounds both work.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types drawable uniformly "from the whole type" via [`RngExt::random`].
+pub trait Standard: Sized {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn standard_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Half-open ranges drawable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + f32::standard_from(rng) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < 2^-40 for every span used in this repo;
+                // acceptable for a test/demo RNG.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+/// The ergonomic extension trait (rand 0.9's `Rng`, here under the
+/// seed-code name `RngExt`), blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard_from(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (SplitMix64-expanded seed).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Sampling random elements of slices (rand 0.9's `IndexedRandom`).
+pub trait IndexedRandom {
+    type Output;
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+
+    /// `amount` distinct elements, uniformly without replacement (partial
+    /// Fisher–Yates over indices). Order is random. Panics if
+    /// `amount > len`, matching upstream's debug behavior closely enough
+    /// for this repository (upstream returns fewer; every call here asks
+    /// for `amount <= len`).
+    fn sample<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+        assert!(
+            amount <= self.len(),
+            "IndexedRandom::sample: amount {amount} > len {}",
+            self.len()
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+            picked.push(&self[idx[i]]);
+        }
+        picked.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{IndexedRandom, RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let k: usize = rng.random_range(5usize..9);
+            assert!((5..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let all: Vec<usize> = (0..20).collect();
+        let picked: Vec<usize> = all.sample(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "duplicates in {picked:?}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Std-only stand-in for the crates.io `rayon` crate.
+//!
+//! The workspace builds without registry access, so the `par_iter` /
+//! `into_par_iter` / `par_chunks{,_mut}` entry points used across the hot
+//! paths resolve here. They return **ordinary serial iterators**: every
+//! `.map/.enumerate/.zip/.for_each/.collect/.sum` chain downstream is the
+//! std `Iterator` machinery, which keeps call sites source-compatible with
+//! real rayon (whose `ParallelIterator` mirrors those combinators) while
+//! executing on one thread. Rayon-only combinators that std lacks —
+//! currently [`ParallelIterator::for_each_init`] and the `with_min_len` /
+//! `with_max_len` hints — are provided by a blanket extension trait.
+//!
+//! Single-threaded execution is a deliberate PR-1 simplification: it is
+//! bit-for-bit deterministic and keeps the first green build honest.
+//! Swapping real work-stealing parallelism back in (real rayon or a
+//! std::thread::scope pool behind these same entry points) is tracked on
+//! the roadmap and requires no call-site changes beyond the one
+//! `reduce(identity, op)` noted in the crate README.
+
+/// Blanket extension supplying the rayon-only combinators this workspace
+/// uses on parallel iterator chains. Because the shim's "parallel"
+/// iterators are std iterators, the blanket target is [`Iterator`].
+pub trait ParallelIterator: Iterator + Sized {
+    /// Rayon semantics: `init` runs once per worker split and the scratch
+    /// value is reused across that split's items. Serially that is one
+    /// `init` for the whole run — indistinguishable to correct callers,
+    /// which may not rely on per-item initialization.
+    fn for_each_init<T, INIT, OP>(self, mut init: INIT, mut op: OP)
+    where
+        INIT: FnMut() -> T,
+        OP: FnMut(&mut T, Self::Item),
+    {
+        let mut scratch = init();
+        for item in self {
+            op(&mut scratch, item);
+        }
+    }
+
+    /// Splitting-granularity hint; meaningless serially.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Splitting-granularity hint; meaningless serially.
+    fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` — shared-reference iteration.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` — exclusive-reference iteration.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+pub mod iter {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+pub mod slice {
+    pub use super::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// The number of worker threads; the serial shim always reports 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// `rayon::join(a, b)` — serially, just `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Global-pool configuration; accepted and ignored (there is no pool).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`]; never produced by
+/// the shim but kept so `.ok()` / `?` call sites type-check.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in rayon shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A scoped pool handle; the serial shim runs closures on the caller's
+/// thread, so [`ThreadPool::install`] is just an invocation.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_serial_iterators() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s1: f64 = v.par_iter().map(|x| x * 2.0).sum();
+        let s2: f64 = v.iter().map(|x| x * 2.0).sum();
+        assert_eq!(s1, s2);
+
+        let doubled: Vec<i64> = (0i64..10).into_par_iter().map(|i| 2 * i).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+
+        let mut buf = [0.0f64; 12];
+        buf.par_chunks_mut(4).enumerate().for_each(|(k, chunk)| {
+            for c in chunk {
+                *c = k as f64;
+            }
+        });
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(buf[5], 1.0);
+        assert_eq!(buf[11], 2.0);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch() {
+        let mut inits = 0;
+        (0..50).into_par_iter().for_each_init(
+            || {
+                inits += 1;
+                Vec::<usize>::with_capacity(8)
+            },
+            |scratch, i| {
+                scratch.clear();
+                scratch.push(i);
+            },
+        );
+        assert_eq!(inits, 1);
+    }
+}

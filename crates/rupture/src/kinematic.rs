@@ -236,9 +236,7 @@ mod tests {
     fn magnitude_monotone_in_peak_uplift() {
         let small = KinematicRupture::margin_wide(250e3, 1000e3, 1.0, 3, 0.5, 2500.0, 20.0);
         let large = KinematicRupture::margin_wide(250e3, 1000e3, 5.0, 3, 0.5, 2500.0, 20.0);
-        assert!(
-            large.magnitude(40, 80, 250e3, 1000e3) > small.magnitude(40, 80, 250e3, 1000e3)
-        );
+        assert!(large.magnitude(40, 80, 250e3, 1000e3) > small.magnitude(40, 80, 250e3, 1000e3));
     }
 
     #[test]

@@ -114,7 +114,10 @@ impl SensorArray {
     pub fn rescale_channels(&mut self, factors: &[f64]) {
         assert_eq!(factors.len(), self.channels.len(), "one factor per channel");
         for (ch, &f) in self.channels.iter_mut().zip(factors) {
-            assert!(f.is_finite() && f != 0.0, "channel scale must be finite and nonzero");
+            assert!(
+                f.is_finite() && f != 0.0,
+                "channel scale must be finite and nonzero"
+            );
             for tap in ch.iter_mut() {
                 tap.1 *= f;
             }
@@ -267,7 +270,12 @@ mod tests {
         let op = op();
         let fiber = SensorArray::das_fiber(
             &op,
-            &[(500.0, 500.0), (1200.0, 800.0), (2000.0, 1500.0), (2600.0, 2400.0)],
+            &[
+                (500.0, 500.0),
+                (1200.0, 800.0),
+                (2000.0, 1500.0),
+                (2600.0, 2400.0),
+            ],
             0.02,
         );
         assert_eq!(fiber.len(), 3);
@@ -283,8 +291,11 @@ mod tests {
         // DAS measures differences: a spatially constant field is invisible,
         // the defining contrast with point pressure sensors.
         let op = op();
-        let fiber =
-            SensorArray::das_fiber(&op, &[(500.0, 500.0), (1500.0, 500.0), (2500.0, 500.0)], 0.02);
+        let fiber = SensorArray::das_fiber(
+            &op,
+            &[(500.0, 500.0), (1500.0, 500.0), (2500.0, 500.0)],
+            0.02,
+        );
         let mut x = vec![0.0; op.n_state()];
         let n_u = op.n_u();
         for v in x[n_u..].iter_mut() {
@@ -303,8 +314,11 @@ mod tests {
         // over gauge... i.e. the difference quotient recovers the slope
         // when the fiber runs along x at constant depth.
         let op = op();
-        let fiber =
-            SensorArray::das_fiber(&op, &[(600.0, 1500.0), (1400.0, 1500.0), (2400.0, 1500.0)], 0.02);
+        let fiber = SensorArray::das_fiber(
+            &op,
+            &[(600.0, 1500.0), (1400.0, 1500.0), (2400.0, 1500.0)],
+            0.02,
+        );
         // Build p = 3·x/1000 by evaluating the H1 nodal coordinates.
         let n_u = op.n_u();
         let mut x = vec![0.0; op.n_state()];
@@ -330,7 +344,9 @@ mod tests {
             &[(500.0, 600.0), (1300.0, 900.0), (2100.0, 1800.0)],
             0.02,
         );
-        let x: Vec<f64> = (0..op.n_state()).map(|i| (i as f64 * 0.013).cos()).collect();
+        let x: Vec<f64> = (0..op.n_state())
+            .map(|i| (i as f64 * 0.013).cos())
+            .collect();
         let w = [0.8, -1.1];
         let mut d = vec![0.0; fiber.len()];
         fiber.observe(&op, &x, &mut d);
@@ -345,7 +361,9 @@ mod tests {
     fn rescaled_channels_scale_observations_and_adjoint() {
         let op = op();
         let mut arr = SensorArray::on_seafloor(&op, &[(700.0, 900.0), (2500.0, 500.0)], 0.02);
-        let x: Vec<f64> = (0..op.n_state()).map(|i| (i as f64 * 0.017).sin()).collect();
+        let x: Vec<f64> = (0..op.n_state())
+            .map(|i| (i as f64 * 0.017).sin())
+            .collect();
         let mut d0 = vec![0.0; 2];
         arr.observe(&op, &x, &mut d0);
         arr.rescale_channels(&[2.0, -0.5]);

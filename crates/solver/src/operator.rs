@@ -145,7 +145,10 @@ impl WaveOperator {
         self.kernel.apply_fused(xp, xu, ou, op);
         // Velocity block: −Mu⁻¹ G p.
         let nq3 = self.ctx.nq3();
-        for (e_sc, mu_chunk) in ou.chunks_exact_mut(3 * nq3).zip(self.minv_u.chunks_exact(nq3)) {
+        for (e_sc, mu_chunk) in ou
+            .chunks_exact_mut(3 * nq3)
+            .zip(self.minv_u.chunks_exact(nq3))
+        {
             for comp in 0..3 {
                 for (v, &mi) in e_sc[comp * nq3..(comp + 1) * nq3].iter_mut().zip(mu_chunk) {
                     *v = -*v * mi;
@@ -153,7 +156,8 @@ impl WaveOperator {
             }
         }
         // Pressure block: Mp⁻¹ (Gᵀ u − Z⁻¹ S_a p + S_b m).
-        self.absorbing.add_scaled_diag(-self.absorbing_coeff, xp, op);
+        self.absorbing
+            .add_scaled_diag(-self.absorbing_coeff, xp, op);
         if let Some(m) = m_bottom {
             self.bottom.add_source(1.0, m, op);
         }
@@ -208,7 +212,11 @@ impl WaveOperator {
         let (_, wp) = w.split_at(self.n_u());
         // trace of Mp⁻¹ w_p weighted by the bottom mass.
         assert_eq!(m_out.len(), self.bottom.len());
-        for ((o, &n), &wt) in m_out.iter_mut().zip(&self.bottom.nodes).zip(&self.bottom.weights) {
+        for ((o, &n), &wt) in m_out
+            .iter_mut()
+            .zip(&self.bottom.nodes)
+            .zip(&self.bottom.weights)
+        {
             *o = wt * self.minv_p[n] * wp[n];
         }
     }
@@ -279,7 +287,9 @@ mod tests {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()
@@ -309,8 +319,8 @@ mod tests {
         let e = op.energy(&x);
         let vol = 6000.0 * 6000.0 * 800.0;
         let area = 6000.0 * 6000.0;
-        let expect = 0.5 * vol / op.params.bulk_modulus
-            + 0.5 * area / (op.params.rho * op.params.gravity);
+        let expect =
+            0.5 * vol / op.params.bulk_modulus + 0.5 * area / (op.params.rho * op.params.gravity);
         assert!((e - expect).abs() < 1e-9 * expect, "{e} vs {expect}");
     }
 
@@ -397,6 +407,9 @@ mod tests {
             dedt += pv * lv / mi;
             scale += (pv * lv / mi).abs();
         }
-        assert!(dedt.abs() < 1e-10 * scale.max(1e-30), "skewness violated: {dedt}");
+        assert!(
+            dedt.abs() < 1e-10 * scale.max(1e-30),
+            "skewness violated: {dedt}"
+        );
     }
 }

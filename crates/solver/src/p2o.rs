@@ -202,7 +202,9 @@ mod tests {
         let mut s = 42u64;
         let m: Vec<f64> = (0..solver.n_params())
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect();

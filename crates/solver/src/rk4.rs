@@ -38,7 +38,13 @@ impl Rk4Workspace {
 
 /// One forward RK4 step: `x ← R x + dt Ψ F(m)`, `m` the constant seafloor
 /// velocity (bottom-node values) over the step; `None` for unforced.
-pub fn rk4_step(op: &WaveOperator, x: &mut [f64], m: Option<&[f64]>, dt: f64, ws: &mut Rk4Workspace) {
+pub fn rk4_step(
+    op: &WaveOperator,
+    x: &mut [f64],
+    m: Option<&[f64]>,
+    dt: f64,
+    ws: &mut Rk4Workspace,
+) {
     let n = x.len();
     debug_assert_eq!(n, op.n_state());
     // k1
@@ -135,14 +141,20 @@ mod tests {
             &FlatBathymetry { depth: 500.0 },
         ));
         let ctx = Arc::new(KernelContext::new(mesh, 3));
-        WaveOperator::new(ctx, KernelVariant::FusedPa, PhysicalParams::slow_ocean(100.0))
+        WaveOperator::new(
+            ctx,
+            KernelVariant::FusedPa,
+            PhysicalParams::slow_ocean(100.0),
+        )
     }
 
     fn pseudo(n: usize, seed: u64) -> Vec<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()
@@ -201,10 +213,7 @@ mod tests {
             rk4_step(&op, &mut x, None, dt, &mut ws);
         }
         let e1 = op.energy(&x);
-        assert!(
-            ((e1 - e0) / e0).abs() < 1e-7,
-            "energy drift {e0} → {e1}"
-        );
+        assert!(((e1 - e0) / e0).abs() < 1e-7, "energy drift {e0} → {e1}");
     }
 
     #[test]
@@ -243,6 +252,9 @@ mod tests {
             rk4_step(&op, &mut x, None, dt, &mut ws);
         }
         let e = op.energy(&x);
-        assert!(!e.is_finite() || e > 1e12, "expected instability, energy {e}");
+        assert!(
+            !e.is_finite() || e > 1e12,
+            "expected instability, energy {e}"
+        );
     }
 }

@@ -76,7 +76,8 @@ impl WaveSolver {
             }
             rk4_step(&self.op, &mut x, Some(&bottom), self.grid.dt, &mut ws);
             if let Some(i) = self.grid.obs_index_at(step + 1) {
-                self.sensors.observe(&self.op, &x, &mut d[i * nd..(i + 1) * nd]);
+                self.sensors
+                    .observe(&self.op, &x, &mut d[i * nd..(i + 1) * nd]);
                 self.qoi.observe(&self.op, &x, &mut q[i * nq..(i + 1) * nq]);
                 on_obs(i, &x);
             }
@@ -173,7 +174,9 @@ mod tests {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()

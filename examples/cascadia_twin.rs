@@ -57,7 +57,10 @@ fn main() {
     let b_map = displacement_field(&inference.m_map, nm, nt, dt);
     let b_std = twin.displacement_uncertainty();
     println!("\nseafloor displacement reconstruction (Fig 3 analog):");
-    println!("  pattern correlation : {:.3}", correlation(&b_map, &b_true));
+    println!(
+        "  pattern correlation : {:.3}",
+        correlation(&b_map, &b_true)
+    );
     println!("  relative L2 error   : {:.3}", rel_l2(&b_map, &b_true));
     let peak_true = b_true.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
     let peak_map = b_map.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
@@ -74,8 +77,12 @@ fn main() {
     );
     let nq = twin.solver.qoi.len();
     for j in 0..nq.min(4) {
-        let peak_t = (0..nt).map(|i| event.q_true[i * nq + j]).fold(0.0f64, |m, v| m.max(v.abs()));
-        let peak_p = (0..nt).map(|i| forecast.q_map[i * nq + j]).fold(0.0f64, |m, v| m.max(v.abs()));
+        let peak_t = (0..nt)
+            .map(|i| event.q_true[i * nq + j])
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        let peak_p = (0..nt)
+            .map(|i| forecast.q_map[i * nq + j])
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         println!("  location #{j}: peak true {peak_t:.3} m, peak predicted {peak_p:.3} m");
     }
 
@@ -84,7 +91,10 @@ fn main() {
     std::fs::create_dir_all(dir).unwrap();
     let mut csv = String::from("cell,b_true,b_map,b_std\n");
     for c in 0..nm {
-        csv.push_str(&format!("{c},{:.6e},{:.6e},{:.6e}\n", b_true[c], b_map[c], b_std[c]));
+        csv.push_str(&format!(
+            "{c},{:.6e},{:.6e},{:.6e}\n",
+            b_true[c], b_map[c], b_std[c]
+        ));
     }
     std::fs::write(dir.join("cascadia_twin_fields.csv"), csv).unwrap();
     println!("\nfields written to target/experiments/cascadia_twin_fields.csv");

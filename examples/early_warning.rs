@@ -67,9 +67,7 @@ fn main() {
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()
         .sqrt();
-    println!(
-        "\nfull-window streamed inference == batch inference: residual {diff:.2e}"
-    );
+    println!("\nfull-window streamed inference == batch inference: residual {diff:.2e}");
     println!(
         "one-window inference norm {:.3e} vs full {:.3e} (early data constrain little)",
         inf_w1.m_map.iter().map(|v| v * v).sum::<f64>().sqrt(),

@@ -58,7 +58,11 @@ fn main() {
     println!("  margin-wide rupture:   {bf_event:>12.1}   -> ISSUE WARNING");
     println!(
         "  weak (10%) source:     {bf_weak:>12.1}   -> {}",
-        if bf_weak > 5.0 { "ISSUE WARNING" } else { "monitor" }
+        if bf_weak > 5.0 {
+            "ISSUE WARNING"
+        } else {
+            "monitor"
+        }
     );
     println!("  no tsunami (noise):    {bf_quiet:>12.1}   -> stand down");
     println!("\ndecision latency: {dt_ms:.3} ms (one triangular solve on the factored K)");

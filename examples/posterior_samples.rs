@@ -66,7 +66,8 @@ fn main() {
     println!("  true peak       : {q_true_peak:.3} m");
     println!(
         "  truth within ensemble range: {}",
-        q_true_peak >= peak_eta_per_sample[0] && q_true_peak <= *peak_eta_per_sample.last().unwrap()
+        q_true_peak >= peak_eta_per_sample[0]
+            && q_true_peak <= *peak_eta_per_sample.last().unwrap()
     );
 
     // Sample-based displacement std vs the exact formula — a consistency
@@ -82,5 +83,8 @@ fn main() {
     println!("\ndisplacement uncertainty (mean over cells):");
     println!("  exact (Phase 2 algebra): {mean_exact:.3} m");
     println!("  {n_samples}-sample estimate     : {mean_sample:.3} m");
-    println!("  ratio                  : {:.2} (→ 1 as samples grow)", mean_sample / mean_exact);
+    println!(
+        "  ratio                  : {:.2} (→ 1 as samples grow)",
+        mean_sample / mean_exact
+    );
 }

@@ -59,7 +59,10 @@ fn main() {
     let nq = twin.solver.qoi.len();
     let nt = twin.solver.grid.nt_obs;
     println!("\nwave-height forecast at location #0:");
-    println!("  {:>6}  {:>9}  {:>9}  {:>22}", "t (s)", "true (m)", "pred (m)", "95% CI");
+    println!(
+        "  {:>6}  {:>9}  {:>9}  {:>22}",
+        "t (s)", "true (m)", "pred (m)", "95% CI"
+    );
     for i in 0..nt {
         let idx = i * nq;
         let (lo, hi) = forecast.ci95(idx);

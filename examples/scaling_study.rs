@@ -25,9 +25,17 @@ fn main() {
         50e3,
         &FlatBathymetry { depth: 3000.0 },
     ));
-    let ncores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
-    println!("== host strong scaling (measured, {} elements, order 4) ==", n * n * n);
-    println!("{:>8} {:>12} {:>12} {:>10}", "threads", "t/apply", "GDOF/s", "speedup");
+    let ncores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    println!(
+        "== host strong scaling (measured, {} elements, order 4) ==",
+        n * n * n
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "threads", "t/apply", "GDOF/s", "speedup"
+    );
     let mut t1 = 0.0;
     let mut threads = 1usize;
     while threads <= ncores {

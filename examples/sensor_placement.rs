@@ -78,7 +78,11 @@ fn main() {
     }
     let greedy_tr = *a_design.objective_path.last().unwrap();
     println!("\nrandom designs ({trials} trials, same budget):");
-    println!("  average trace {:.4e}   best trace {:.4e}", sum / trials as f64, best);
+    println!(
+        "  average trace {:.4e}   best trace {:.4e}",
+        sum / trials as f64,
+        best
+    );
     println!("  greedy  trace {greedy_tr:.4e}");
     println!(
         "  greedy beats the random average by {:.1}% of the prior variance",

@@ -27,9 +27,7 @@ fn main() {
     let fault = DippingFault::megathrust(width, depth, 8);
     let stations: Vec<f64> = (0..10).map(|i| 6_000.0 + 4_800.0 * i as f64).collect();
     let map_sites: Vec<f64> = (0..6).map(|i| 34_000.0 + 4_000.0 * i as f64).collect();
-    let solver = ElasticSolver::new(
-        grid, &medium, fault, &stations, &map_sites, 0.5, 30, 0.5,
-    );
+    let solver = ElasticSolver::new(grid, &medium, fault, &stations, &map_sites, 0.5, 30, 0.5);
     println!(
         "section {:.0} x {:.0} km | {} fault patches | {} stations | {} map sites | {} bins x {} substeps",
         width / 1e3,
@@ -87,11 +85,8 @@ fn main() {
     let mut rng = seeded_rng(7);
     let t0 = std::time::Instant::now();
     let sm = twin.shake_map(&ev.d_obs, 200, &mut rng);
-    let pgv_true = cascadia_dt::elastic::pgv(
-        &ev.q_true,
-        twin.solver.qoi_sites.len(),
-        twin.solver.nt_obs,
-    );
+    let pgv_true =
+        cascadia_dt::elastic::pgv(&ev.q_true, twin.solver.qoi_sites.len(), twin.solver.nt_obs);
     println!(
         "\nshake map ({} samples, {:.0} ms):",
         sm.n_samples,

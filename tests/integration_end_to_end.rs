@@ -23,7 +23,10 @@ fn forecast_beats_climatology() {
     assert!(err < 0.5, "forecast error {err}");
     let zero = vec![0.0; event.q_true.len()];
     let err_zero = rel_l2(&zero, &event.q_true);
-    assert!(err < 0.6 * err_zero, "forecast barely beats zero: {err} vs {err_zero}");
+    assert!(
+        err < 0.6 * err_zero,
+        "forecast barely beats zero: {err} vs {err_zero}"
+    );
 }
 
 #[test]

@@ -149,7 +149,9 @@ fn das_fiber_twin_is_exact_through_the_generic_builder() {
     let mut s = 5u64;
     let m: Vec<f64> = (0..solver.n_params())
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
         .collect();
@@ -184,7 +186,9 @@ fn elastic_and_acoustic_twins_share_the_same_engine_semantics() {
     // The Kalman-gain consistency (q_map = Fq m_map) must hold through
     // both physics backends; it is a property of the shared Phases 2–4.
     let twin = elastic_twin(10);
-    let d: Vec<f64> = (0..twin.engine.n_data()).map(|i| (i as f64 * 0.41).sin()).collect();
+    let d: Vec<f64> = (0..twin.engine.n_data())
+        .map(|i| (i as f64 * 0.41).sin())
+        .collect();
     let inf = twin.invert_slip(&d);
     let fc = twin.forecast_ground_motion(&d);
     let mut q = vec![0.0; twin.engine.n_qoi()];
@@ -242,7 +246,10 @@ fn cholesky_rejects_nan_contamination() {
     let mut a = cascadia_dt::linalg::DMatrix::identity(6);
     a[(3, 2)] = f64::NAN;
     a[(2, 3)] = f64::NAN;
-    assert!(Cholesky::factor(&a).is_err(), "NaN must fail the factorization");
+    assert!(
+        Cholesky::factor(&a).is_err(),
+        "NaN must fail the factorization"
+    );
 }
 
 #[test]
@@ -252,7 +259,10 @@ fn engine_rejects_wrong_data_dimension() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         twin.infer(&bad);
     }));
-    assert!(result.is_err(), "dimension mismatch must panic, not mis-solve");
+    assert!(
+        result.is_err(),
+        "dimension mismatch must panic, not mis-solve"
+    );
 }
 
 #[test]

@@ -79,7 +79,11 @@ fn map_point_satisfies_optimality() {
     // Scale: compare against the gradient at m = 0.
     let mut grad0 = vec![0.0; f.ncols()];
     f.matvec_transpose(&event.d_obs, &mut grad0);
-    let g0: f64 = grad0.iter().map(|v| (v / sigma2) * (v / sigma2)).sum::<f64>().sqrt();
+    let g0: f64 = grad0
+        .iter()
+        .map(|v| (v / sigma2) * (v / sigma2))
+        .sum::<f64>()
+        .sqrt();
     let g: f64 = grad.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(g < 1e-6 * g0, "MAP gradient not zero: {g} vs scale {g0}");
 }
@@ -104,7 +108,10 @@ fn posterior_mean_interpolates_prior_and_data() {
     let mut fm = vec![0.0; tight.phase1.fast_f.nrows()];
     tight.phase1.fast_f.matvec(&m_tight, &mut fm);
     let fit = rel_l2(&fm, &event.d_clean);
-    assert!(fit < 0.05, "tiny noise should fit the data: rel misfit {fit}");
+    assert!(
+        fit < 0.05,
+        "tiny noise should fit the data: rel misfit {fit}"
+    );
 }
 
 #[test]
@@ -116,17 +123,27 @@ fn toeplitz_map_agrees_with_pde_on_random_input() {
     let mut seed = 77u64;
     let m: Vec<f64> = (0..twin.n_params())
         .map(|_| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
         .collect();
     let (d_pde, q_pde) = solver.forward(&m);
     let mut d_fft = vec![0.0; twin.n_data()];
     twin.phase1.fast_f.matvec(&m, &mut d_fft);
-    assert!(rel_l2(&d_fft, &d_pde) < 1e-7, "F mismatch {}", rel_l2(&d_fft, &d_pde));
+    assert!(
+        rel_l2(&d_fft, &d_pde) < 1e-7,
+        "F mismatch {}",
+        rel_l2(&d_fft, &d_pde)
+    );
     let mut q_fft = vec![0.0; twin.phase1.fast_fq.nrows()];
     twin.phase1.fast_fq.matvec(&m, &mut q_fft);
-    assert!(rel_l2(&q_fft, &q_pde) < 1e-7, "Fq mismatch {}", rel_l2(&q_fft, &q_pde));
+    assert!(
+        rel_l2(&q_fft, &q_pde) < 1e-7,
+        "Fq mismatch {}",
+        rel_l2(&q_fft, &q_pde)
+    );
 }
 
 #[test]
@@ -165,5 +182,8 @@ fn posterior_samples_consistent_with_qoi_covariance() {
         );
         checked += 1;
     }
-    assert!(checked > 5, "too few informative entries checked: {checked}");
+    assert!(
+        checked > 5,
+        "too few informative entries checked: {checked}"
+    );
 }

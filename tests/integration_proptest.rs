@@ -3,7 +3,9 @@
 //! leading-block solves, shake-map statistics, and the elastic adjoint.
 
 use cascadia_dt::elastic::{pgv, DippingFault, ElasticGrid, ElasticSolver, LayeredMedium};
-use cascadia_dt::fft::{dct2_orthonormal, dct3_orthonormal, Bluestein, BlockToeplitz, FftBlockToeplitz};
+use cascadia_dt::fft::{
+    dct2_orthonormal, dct3_orthonormal, BlockToeplitz, Bluestein, FftBlockToeplitz,
+};
 use cascadia_dt::linalg::{Cholesky, DMatrix, C64};
 use cascadia_dt::prior::MaternPrior;
 use proptest::prelude::*;
@@ -22,9 +24,7 @@ fn toeplitz_strategy() -> impl Strategy<Value = (BlockToeplitz, Vec<f64>, Vec<f6
         })
         .prop_map(|(vals, x, w, (nt, od, id))| {
             let blocks = (0..nt)
-                .map(|k| {
-                    DMatrix::from_fn(od, id, |r, c| vals[(k * od + r) * id + c])
-                })
+                .map(|k| DMatrix::from_fn(od, id, |r, c| vals[(k * od + r) * id + c]))
                 .collect();
             (BlockToeplitz::new(blocks, od, id), x, w)
         })

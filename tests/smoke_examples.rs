@@ -1,0 +1,69 @@
+//! Smoke test: the `examples/quickstart.rs` flow must run to completion on
+//! `TwinConfig::tiny()` and produce a finite, calibrated forecast.
+//!
+//! This mirrors the example's API sequence step for step (synthesize →
+//! offline phases 1-3 → online infer/forecast) so a regression in any layer
+//! the example touches fails here, in `cargo test`, without needing to
+//! spawn the example binary. CI additionally runs the binary itself
+//! (`cargo run --release --example quickstart`).
+
+use cascadia_dt::prelude::*;
+use cascadia_dt::twin::metrics::{ci95_coverage, rel_l2};
+
+#[test]
+fn quickstart_example_flow_runs_to_completion_on_tiny_config() {
+    let config = TwinConfig::tiny();
+
+    // Synthesize the "truth" exactly as the example does (same seed).
+    let solver = config.build_solver();
+    let rupture = SyntheticEvent::default_rupture(&config);
+    let event = SyntheticEvent::generate(&config, &solver, &rupture, 42);
+    assert!(!event.d_obs.is_empty(), "synthetic event produced no data");
+    assert!(
+        event.noise_std > 0.0 && event.noise_std.is_finite(),
+        "noise std must be positive and finite, got {}",
+        event.noise_std
+    );
+    drop(solver);
+
+    // Offline phases 1-3, then the real-time online phase.
+    let twin = DigitalTwin::offline(config, event.noise_std);
+    let inference = twin.infer(&event.d_obs);
+    let forecast = twin.forecast(&event.d_obs);
+
+    // Shape invariants the example's output loop relies on.
+    assert_eq!(inference.m_map.len(), twin.n_params());
+    assert_eq!(forecast.q_map.len(), forecast.q_std.len());
+    assert_eq!(forecast.q_map.len(), event.q_true.len());
+    let nq = twin.solver.qoi.len();
+    let nt = twin.solver.grid.nt_obs;
+    assert_eq!(forecast.q_map.len(), nq * nt);
+
+    // Every number the example prints must be finite and sane.
+    assert!(inference.m_map.iter().all(|v| v.is_finite()));
+    assert!(forecast.q_map.iter().all(|v| v.is_finite()));
+    assert!(
+        forecast.q_std.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "forecast std devs must be finite and nonnegative"
+    );
+    for idx in 0..forecast.q_map.len() {
+        let (lo, hi) = forecast.ci95(idx);
+        assert!(lo <= hi, "inverted CI at index {idx}: [{lo}, {hi}]");
+    }
+
+    // Forecast quality on the tiny config: the inversion is exact in the
+    // noise-free limit, so with 1% noise the wave-height field must be
+    // recovered well and the 95% interval must cover a healthy fraction of
+    // the truth. Thresholds are loose on purpose — this is a smoke test,
+    // not an accuracy benchmark.
+    let err = rel_l2(&forecast.q_map, &event.q_true);
+    assert!(
+        err.is_finite() && err < 0.5,
+        "quickstart forecast error unexpectedly large: rel L2 = {err}"
+    );
+    let coverage = ci95_coverage(&forecast.q_map, &forecast.q_std, &event.q_true);
+    assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be a fraction, got {coverage}"
+    );
+}
