@@ -170,18 +170,20 @@ pub fn greedy_design(cand: &OedCandidates, n_pick: usize, criterion: Criterion) 
                 };
                 (score, r)
             })
-            // Serial-shim note: real rayon takes `.reduce(identity, op)`;
-            // under the in-tree shim the chain is a std iterator, so this
-            // is the equivalent fold with the same identity and operator
-            // (the operator is associative + commutative, so results agree
-            // with any parallel reduction order).
-            .fold((f64::NEG_INFINITY, usize::MAX), |a, b| {
-                if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
-                    b
-                } else {
-                    a
-                }
-            });
+            // Argmax as a parallel reduction: the operator is associative
+            // and order-independent (ties broken toward the smaller index),
+            // so the result is identical for any piece grouping — pinned
+            // against the serial std fold in `reduce_matches_serial_fold`.
+            .reduce(
+                || (f64::NEG_INFINITY, usize::MAX),
+                |a, b| {
+                    if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
         assert!(best.1 != usize::MAX, "no candidate could be evaluated");
         selected.push(best.1);
         objective_path.push(match criterion {
@@ -316,5 +318,35 @@ mod tests {
     fn out_of_range_candidate_rejected() {
         let (_twin, cand) = candidates();
         let _ = cand.qoi_trace(&[cand.n_cand]);
+    }
+
+    /// The rayon-style `reduce(identity, op)` in `greedy_design` must pick
+    /// exactly what the serial std `fold` it replaced would pick: the
+    /// argmax operator is associative with a total tie-break order, so any
+    /// parallel piece grouping agrees with the left-to-right fold.
+    #[test]
+    fn reduce_matches_serial_fold() {
+        let (_twin, cand) = candidates();
+        let n_pick = 3;
+        let design = greedy_design(&cand, n_pick, Criterion::AOptimal);
+        let mut selected: Vec<usize> = Vec::new();
+        for _ in 0..n_pick {
+            let best = (0..cand.n_cand)
+                .filter(|r| !selected.contains(r))
+                .map(|r| {
+                    let mut trial = selected.clone();
+                    trial.push(r);
+                    (-cand.qoi_trace(&trial), r)
+                })
+                .fold((f64::NEG_INFINITY, usize::MAX), |a, b| {
+                    if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                        b
+                    } else {
+                        a
+                    }
+                });
+            selected.push(best.1);
+        }
+        assert_eq!(design.selected, selected);
     }
 }

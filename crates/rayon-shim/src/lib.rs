@@ -1,159 +1,164 @@
-//! Std-only stand-in for the crates.io `rayon` crate.
+//! Std-only stand-in for the crates.io `rayon` crate — with real
+//! data parallelism.
 //!
 //! The workspace builds without registry access, so the `par_iter` /
 //! `into_par_iter` / `par_chunks{,_mut}` entry points used across the hot
-//! paths resolve here. They return **ordinary serial iterators**: every
-//! `.map/.enumerate/.zip/.for_each/.collect/.sum` chain downstream is the
-//! std `Iterator` machinery, which keeps call sites source-compatible with
-//! real rayon (whose `ParallelIterator` mirrors those combinators) while
-//! executing on one thread. Rayon-only combinators that std lacks —
-//! currently [`ParallelIterator::for_each_init`] and the `with_min_len` /
-//! `with_max_len` hints — are provided by a blanket extension trait.
+//! paths resolve here. Since PR 2 they are **genuinely parallel**: each
+//! producer is a splittable, exactly-sized parallel iterator ([`iter`],
+//! [`slice`]), and every terminal (`for_each`, `for_each_init`, `map` +
+//! `collect`, `fold`/`reduce`, `sum`, `count`) fans pieces out across a
+//! `std::thread::scope`-based chunk-splitting pool ([`engine`] internals):
+//! the iterator is pre-split into more pieces than workers, and workers
+//! dynamically claim pieces off a shared cursor, so fast workers absorb the
+//! slack of slow ones. [`join`] and [`scope`] run their closures on scoped
+//! threads the same way.
 //!
-//! Single-threaded execution is a deliberate PR-1 simplification: it is
-//! bit-for-bit deterministic and keeps the first green build honest.
-//! Swapping real work-stealing parallelism back in (real rayon or a
-//! std::thread::scope pool behind these same entry points) is tracked on
-//! the roadmap and requires no call-site changes beyond the one
-//! `reduce(identity, op)` noted in the crate README.
+//! ## Execution model
+//!
+//! - Thread count: `ThreadPool::install` > `ThreadPoolBuilder::build_global`
+//!   > `RAYON_NUM_THREADS` > `std::thread::available_parallelism()`.
+//! - **`RAYON_NUM_THREADS=1` recovers the serial fast path**: the whole
+//!   iterator runs as one piece on the caller's thread, bit-for-bit
+//!   deterministic and identical to the PR-1 serial shim.
+//! - Elementwise operations (`for_each`, `map`+`collect`,
+//!   `par_chunks_mut` writes) produce results identical to serial execution
+//!   at any thread count; float `sum`/`reduce` may differ by rounding only
+//!   (partial results are grouped per piece, then combined in piece order —
+//!   deterministic for a fixed thread count).
+//! - Nested bulk operations inside a worker run serially on that worker,
+//!   and every spawned thread (bulk workers, `join`/`scope` arms) draws
+//!   from one process-wide budget of `threads − 1` extra threads, so
+//!   composed parallelism stays bounded near the configured count instead
+//!   of multiplying; when the budget is exhausted, work runs inline.
+//! - `for_each_init` is honest: one scratch per worker that claims work,
+//!   reused across the pieces that worker drains.
+//!
+//! The conformance suite (`tests/conformance.rs`) pins serial/parallel
+//! equivalence for every combinator the workspace uses.
 
-/// Blanket extension supplying the rayon-only combinators this workspace
-/// uses on parallel iterator chains. Because the shim's "parallel"
-/// iterators are std iterators, the blanket target is [`Iterator`].
-pub trait ParallelIterator: Iterator + Sized {
-    /// Rayon semantics: `init` runs once per worker split and the scratch
-    /// value is reused across that split's items. Serially that is one
-    /// `init` for the whole run — indistinguishable to correct callers,
-    /// which may not rely on per-item initialization.
-    fn for_each_init<T, INIT, OP>(self, mut init: INIT, mut op: OP)
-    where
-        INIT: FnMut() -> T,
-        OP: FnMut(&mut T, Self::Item),
-    {
-        let mut scratch = init();
-        for item in self {
-            op(&mut scratch, item);
-        }
-    }
+pub(crate) mod engine;
+pub mod iter;
+pub mod slice;
 
-    /// Splitting-granularity hint; meaningless serially.
-    fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Splitting-granularity hint; meaningless serially.
-    fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> ParallelIterator for I {}
-
-/// `into_par_iter()` for owned collections and ranges.
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
-    }
-}
-
-/// `par_iter()` — shared-reference iteration.
-pub trait IntoParallelRefIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-where
-    &'data C: IntoIterator,
-{
-    type Item = <&'data C as IntoIterator>::Item;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// `par_iter_mut()` — exclusive-reference iteration.
-pub trait IntoParallelRefMutIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-{
-    type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// `par_chunks()` on slices.
-pub trait ParallelSlice<T> {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
-    }
-}
-
-/// `par_chunks_mut()` on slices.
-pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
-    }
-}
-
-pub mod iter {
-    pub use super::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
-    };
-}
-
-pub mod slice {
-    pub use super::{ParallelSlice, ParallelSliceMut};
-}
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator,
+};
+pub use slice::{ParallelSlice, ParallelSliceMut};
 
 pub mod prelude {
-    pub use super::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-/// The number of worker threads; the serial shim always reports 1.
+/// The number of worker threads bulk operations currently fan out to.
 pub fn current_num_threads() -> usize {
-    1
+    engine::effective_threads()
 }
 
-/// `rayon::join(a, b)` — serially, just `a` then `b`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// `rayon::join(a, b)`: run both closures, potentially in parallel (`b` on
+/// a scoped thread while the caller runs `a`). Falls back to serial when
+/// the effective thread count is 1, when called from inside a worker, or
+/// when the process-wide spawned-thread budget (one slot short of the
+/// thread count, so recursive `join` trees stay bounded) is exhausted.
+/// Spawned closures inherit the caller's effective thread count, so bulk
+/// operations inside a `join` arm respect an enclosing
+/// [`ThreadPool::install`].
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let threads = engine::effective_threads();
+    let ticket = if threads <= 1 || engine::in_worker() {
+        None
+    } else {
+        engine::try_spawn_ticket()
+    };
+    let Some(ticket) = ticket else {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    };
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(move || {
+            let _slot = ticket;
+            engine::with_install_threads(threads, oper_b)
+        });
+        let ra = oper_a();
+        match handle_b.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
 }
 
-/// Global-pool configuration; accepted and ignored (there is no pool).
+/// `rayon::scope`: create a scope in which [`Scope::spawn`]ed closures may
+/// borrow from the enclosing stack frame; all spawned work completes before
+/// `scope` returns. Backed by `std::thread::scope`: each spawn runs on its
+/// own scoped thread while the process-wide spawned-thread budget allows,
+/// and inline on the spawning thread otherwise (always inline when the
+/// thread count is 1) — so wide spawn loops queue up as inline work instead
+/// of creating unbounded OS threads.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    let threads = engine::effective_threads();
+    std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            threads,
+            serial: threads <= 1 || engine::in_worker(),
+        };
+        op(&wrapper)
+    })
+}
+
+/// Scope handle passed to the [`scope`] closure; `spawn` launches tasks
+/// that may themselves spawn onto the same scope.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    threads: usize,
+    serial: bool,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Run `body` exactly once — on a scoped thread when the spawn budget
+    /// allows, inline otherwise. The closure receives the scope so it can
+    /// spawn nested tasks; spawned threads inherit the scope's effective
+    /// thread count.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let me = *self;
+        let ticket = if self.serial {
+            None
+        } else {
+            engine::try_spawn_ticket()
+        };
+        match ticket {
+            Some(ticket) => {
+                let threads = self.threads;
+                self.inner.spawn(move || {
+                    let _slot = ticket;
+                    engine::with_install_threads(threads, || body(&me));
+                });
+            }
+            None => body(&me),
+        }
+    }
+}
+
+/// Global-pool configuration.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -177,24 +182,31 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Request an explicit thread count (0 = keep the default resolution).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
+    /// Install an explicit thread count process-wide (no-op when the count
+    /// was left at 0, matching rayon's "0 means default").
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if self.num_threads > 0 {
+            engine::set_global_threads(self.num_threads);
+        }
         Ok(())
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
-            num_threads: self.num_threads.max(1),
+            num_threads: self.num_threads,
         })
     }
 }
 
-/// A scoped pool handle; the serial shim runs closures on the caller's
-/// thread, so [`ThreadPool::install`] is just an invocation.
+/// A pool handle: [`ThreadPool::install`] runs a closure with this pool's
+/// thread count governing every bulk operation (and `join`/`scope`) the
+/// closure performs on the calling thread.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -205,24 +217,29 @@ impl ThreadPool {
     where
         OP: FnOnce() -> R,
     {
-        op()
+        engine::with_install_threads(self.current_num_threads(), op)
     }
 
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            engine::effective_threads()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn entry_points_behave_like_serial_iterators() {
+    fn entry_points_match_serial_iterators() {
         let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let s1: f64 = v.par_iter().map(|x| x * 2.0).sum();
         let s2: f64 = v.iter().map(|x| x * 2.0).sum();
-        assert_eq!(s1, s2);
+        assert!((s1 - s2).abs() <= 1e-12 * s2.abs());
 
         let doubled: Vec<i64> = (0i64..10).into_par_iter().map(|i| 2 * i).collect();
         assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
@@ -239,18 +256,46 @@ mod tests {
     }
 
     #[test]
-    fn for_each_init_reuses_scratch() {
-        let mut inits = 0;
-        (0..50).into_par_iter().for_each_init(
-            || {
-                inits += 1;
-                Vec::<usize>::with_capacity(8)
-            },
-            |scratch, i| {
-                scratch.clear();
-                scratch.push(i);
-            },
-        );
-        assert_eq!(inits, 1);
+    fn for_each_init_runs_init_at_most_once_per_worker() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let inits = AtomicUsize::new(0);
+        let visited = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..1000usize).into_par_iter().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::with_capacity(8)
+                },
+                |scratch, i| {
+                    scratch.clear();
+                    scratch.push(i);
+                    visited.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(visited.load(Ordering::Relaxed), 1000);
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "init ran {n} times for 4 workers");
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
     }
 }

@@ -1,0 +1,179 @@
+//! Parallel producers over slices: `par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut` (mirroring `rayon::slice`).
+//!
+//! All four are exact-length, zero-copy splitters over `split_at` /
+//! `split_at_mut`; the chunk producers split on chunk boundaries so a chunk
+//! is never torn across two workers.
+
+use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator};
+
+/// `par_chunks()` / `par_chunks_mut()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be short).
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size != 0, "par_chunks: chunk size must be non-zero");
+        Chunks {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(
+            chunk_size != 0,
+            "par_chunks_mut: chunk size must be non-zero"
+        );
+        ChunksMut {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = IterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> IterMut<'data, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// Parallel shared-reference producer over a slice.
+#[derive(Debug)]
+pub struct Iter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+    type Seq = std::slice::Iter<'data, T>;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (Iter { slice: l }, Iter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel exclusive-reference producer over a slice.
+#[derive(Debug)]
+pub struct IterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for IterMut<'data, T> {
+    type Item = &'data mut T;
+    type Seq = std::slice::IterMut<'data, T>;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (IterMut { slice: l }, IterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel producer over shared chunks of a slice.
+#[derive(Debug)]
+pub struct Chunks<'data, T> {
+    slice: &'data [T],
+    chunk: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for Chunks<'data, T> {
+    type Item = &'data [T];
+    type Seq = std::slice::Chunks<'data, T>;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(cut);
+        (
+            Chunks {
+                slice: l,
+                chunk: self.chunk,
+            },
+            Chunks {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel producer over mutable chunks of a slice.
+#[derive(Debug)]
+pub struct ChunksMut<'data, T> {
+    slice: &'data mut [T],
+    chunk: usize,
+}
+
+impl<'data, T: Send> ParallelIterator for ChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    type Seq = std::slice::ChunksMut<'data, T>;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(cut);
+        (
+            ChunksMut {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksMut {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
