@@ -34,11 +34,15 @@
 //!   window, exact for every window length from one offline factorization.
 //! - [`oed`]: goal-oriented optimal sensor placement (A-/D-optimal greedy
 //!   design over candidate arrays), closing §III-A's sensor-network loop.
+//! - [`bank`]: a scenario bank serving many observation streams against
+//!   one precomputed twin through the batched Phase-4 path
+//!   ([`phase4::infer_batch`] / [`phase4::predict_batch`]).
 
 // Numeric kernels use index loops that mirror the tensor/math indices
 // of the discretizations; enumerate()-style rewrites obscure the formulas.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bank;
 pub mod baseline;
 pub mod config;
 pub mod event;
@@ -55,6 +59,7 @@ pub mod stprior;
 pub mod twin;
 pub mod window;
 
+pub use bank::{BankAssimilation, BankScenario, ScenarioBank, ScenarioSpec};
 pub use baseline::{solve_map_cg, HessianOperator};
 pub use config::{BathymetryKind, TwinConfig};
 pub use event::SyntheticEvent;
@@ -64,7 +69,7 @@ pub use oed::{greedy_design, Criterion, OedCandidates, SensorDesign};
 pub use phase1::Phase1;
 pub use phase2::Phase2;
 pub use phase3::Phase3;
-pub use phase4::{Forecast, Inference};
+pub use phase4::{Forecast, ForecastBatch, Inference, InferenceBatch};
 pub use stprior::SpaceTimePrior;
 pub use twin::DigitalTwin;
 pub use window::{infer_window, WindowedForecaster};

@@ -63,6 +63,13 @@ impl Phase2 {
     pub fn k_solve(&self, b: &[f64]) -> Vec<f64> {
         self.k_chol.solve(b)
     }
+
+    /// Solve `K X = B` for a block of right-hand sides — one panel-wise
+    /// walk of the factor serves the whole batch (the online multi-scenario
+    /// path of [`crate::phase4::infer_batch`]).
+    pub fn k_solve_multi(&self, b: &DMatrix) -> DMatrix {
+        self.k_chol.solve_multi(b)
+    }
 }
 
 /// Apply the spatial prior to each defining block: `B_k = T_k Γ_s`

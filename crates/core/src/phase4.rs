@@ -17,6 +17,10 @@ use crate::phase1::Phase1;
 use crate::phase2::Phase2;
 use crate::phase3::Phase3;
 use std::time::Instant;
+use tsunami_linalg::DMatrix;
+
+/// Half-width multiplier of a two-sided 95% Gaussian credible interval.
+const CI95: f64 = 1.959963984540054;
 
 /// Result of the online parameter inference.
 pub struct Inference {
@@ -39,18 +43,89 @@ pub struct Forecast {
 impl Forecast {
     /// 95% credible interval `(lo, hi)` for entry `i`.
     pub fn ci95(&self, i: usize) -> (f64, f64) {
-        let half = 1.959963984540054 * self.q_std[i];
+        let half = CI95 * self.q_std[i];
         (self.q_map[i] - half, self.q_map[i] + half)
+    }
+}
+
+/// Posterior means for a batch of observation streams: column `j` of
+/// `m_map` is the inference for scenario `j`.
+pub struct InferenceBatch {
+    /// Posterior means, `(Nm·Nt) × B` (one scenario per column).
+    pub m_map: DMatrix,
+    /// Wall-clock seconds for the whole batch.
+    pub seconds: f64,
+}
+
+impl InferenceBatch {
+    /// Number of scenarios in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.m_map.ncols()
+    }
+
+    /// Copy out scenario `j`'s posterior mean.
+    pub fn scenario(&self, j: usize) -> Vec<f64> {
+        self.m_map.col(j)
+    }
+}
+
+/// QoI forecasts for a batch of observation streams. The posterior
+/// covariance — and hence `q_std` — is data-independent, so one std
+/// vector serves every scenario in the batch.
+pub struct ForecastBatch {
+    /// Forecast wave heights, `(Nq·Nt) × B` (one scenario per column).
+    pub q_map: DMatrix,
+    /// Pointwise posterior std, shared by all scenarios.
+    pub q_std: Vec<f64>,
+    /// Wall-clock seconds for the whole batch.
+    pub seconds: f64,
+}
+
+impl ForecastBatch {
+    /// Number of scenarios in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.q_map.ncols()
+    }
+
+    /// 95% credible interval `(lo, hi)` for entry `i` of scenario `j`.
+    pub fn ci95(&self, i: usize, j: usize) -> (f64, f64) {
+        let half = CI95 * self.q_std[i];
+        (self.q_map[(i, j)] - half, self.q_map[(i, j)] + half)
+    }
+
+    /// Materialize scenario `j` as a standalone [`Forecast`]. Its
+    /// `seconds` field is the amortized per-scenario share of the batch
+    /// wall-clock (the whole point of batching), not the full batch time,
+    /// so aggregating over scenarios stays honest.
+    pub fn scenario(&self, j: usize) -> Forecast {
+        Forecast {
+            q_map: self.q_map.col(j),
+            q_std: self.q_std.clone(),
+            seconds: self.seconds / self.batch_size().max(1) as f64,
+        }
     }
 }
 
 /// Infer the posterior mean of the seafloor velocity from observations.
 pub fn infer(p1: &Phase1, p2: &Phase2, d: &[f64]) -> Inference {
-    let t0 = Instant::now();
-    let kd = p2.k_solve(d);
-    let mut m_map = vec![0.0; p1.fast_f.ncols()];
-    p2.fast_g.matvec_transpose(&kd, &mut m_map);
+    let db = DMatrix::from_vec(d.len(), 1, d.to_vec());
+    let batch = infer_batch(p1, p2, &db);
     Inference {
+        m_map: batch.m_map.into_vec(),
+        seconds: batch.seconds,
+    }
+}
+
+/// Infer posterior means for a block of observation streams
+/// (`d` is `(Nd·Nt) × B`, one scenario per column) in one batched pass:
+/// a single panel-blocked `K⁻¹` solve followed by one batched FFT
+/// `Gᵀ` application, instead of `B` independent dispatches.
+pub fn infer_batch(p1: &Phase1, p2: &Phase2, d: &DMatrix) -> InferenceBatch {
+    assert_eq!(d.nrows(), p1.fast_f.nrows(), "infer_batch: data rows");
+    let t0 = Instant::now();
+    let kd = p2.k_solve_multi(d);
+    let m_map = p2.fast_g.matmat_transpose(&kd);
+    InferenceBatch {
         m_map,
         seconds: t0.elapsed().as_secs_f64(),
     }
@@ -58,10 +133,22 @@ pub fn infer(p1: &Phase1, p2: &Phase2, d: &[f64]) -> Inference {
 
 /// Forecast QoI wave heights directly from observations via `Q`.
 pub fn predict(p3: &Phase3, d: &[f64]) -> Forecast {
-    let t0 = Instant::now();
-    let mut q_map = vec![0.0; p3.q_map.nrows()];
-    p3.q_map.matvec(d, &mut q_map);
+    let db = DMatrix::from_vec(d.len(), 1, d.to_vec());
+    let batch = predict_batch(p3, &db);
     Forecast {
+        q_map: batch.q_map.into_vec(),
+        q_std: batch.q_std,
+        seconds: batch.seconds,
+    }
+}
+
+/// Forecast QoI wave heights for a block of observation streams
+/// (`d` is `(Nd·Nt) × B`) with one dense `Q · D` product.
+pub fn predict_batch(p3: &Phase3, d: &DMatrix) -> ForecastBatch {
+    assert_eq!(d.nrows(), p3.q_map.ncols(), "predict_batch: data rows");
+    let t0 = Instant::now();
+    let q_map = p3.q_map.matmul(d);
+    ForecastBatch {
         q_map,
         q_std: p3.q_std.clone(),
         seconds: t0.elapsed().as_secs_f64(),
@@ -170,6 +257,56 @@ mod tests {
                 (a - b).abs() < 1e-7 * b.abs().max(1e-10),
                 "Qd vs Fq m_map: {a} vs {b}"
             );
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_looped_single_rhs() {
+        // infer_batch / predict_batch must reproduce column-by-column
+        // infer / predict exactly (up to roundoff) for a batch wider than
+        // the solver and FFT panel widths.
+        let cfg = TwinConfig::tiny();
+        let solver = cfg.build_solver();
+        let timers = TimerRegistry::new();
+        let p1 = crate::phase1::Phase1::build(&solver, &timers);
+        let prior = cfg.build_prior();
+        let p2 = crate::phase2::Phase2::build(&p1, &prior, 0.04, &timers);
+        let p3 = crate::phase3::Phase3::build(&p1, &p2, &timers);
+
+        let n_d = p1.fast_f.nrows();
+        let bsz = 37; // straddles both PANEL (16) and SOLVE_PANEL (32)
+        let d = DMatrix::from_fn(n_d, bsz, |i, j| ((i * 5 + 3 * j) as f64 * 0.19).sin());
+
+        let inf_b = infer_batch(&p1, &p2, &d);
+        let fc_b = predict_batch(&p3, &d);
+        assert_eq!(inf_b.batch_size(), bsz);
+        assert_eq!(fc_b.batch_size(), bsz);
+
+        for j in 0..bsz {
+            let dj = d.col(j);
+            let inf = infer(&p1, &p2, &dj);
+            let fc = predict(&p3, &dj);
+            let mj = inf_b.scenario(j);
+            let m_norm = inf
+                .m_map
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-12);
+            for (a, b) in mj.iter().zip(&inf.m_map) {
+                assert!((a - b).abs() < 1e-10 * m_norm, "col {j}: m_map {a} vs {b}");
+            }
+            let fj = fc_b.scenario(j);
+            for (a, b) in fj.q_map.iter().zip(&fc.q_map) {
+                assert!((a - b).abs() < 1e-10 * b.abs().max(1e-9), "col {j}: q_map");
+            }
+            assert_eq!(fj.q_std, fc.q_std);
+            for i in 0..fc.q_map.len() {
+                let (lo_b, hi_b) = fc_b.ci95(i, j);
+                let (lo, hi) = fc.ci95(i);
+                assert!((lo_b - lo).abs() < 1e-9 && (hi_b - hi).abs() < 1e-9);
+            }
         }
     }
 

@@ -17,24 +17,31 @@ use tsunami_linalg::random::fill_randn;
 pub fn displacement_std(p1: &Phase1, p2: &Phase2, prior: &SpaceTimePrior, dt_obs: f64) -> Vec<f64> {
     let nm = prior.spatial.n();
     let nt = prior.nt;
+    let n_d = p1.fast_f.nrows();
     let prior_var = prior.spatial.marginal_variance();
     // Prior part: Σ_t dt² δᵀ Γ_s δ = nt·dt²·var_s (time blocks independent).
-    (0..nm)
-        .into_par_iter()
-        .map(|c| {
-            let mut e = vec![0.0; nm * nt];
+    // The indicator `e` and image `ge` are per-worker scratch: each worker
+    // zeroes only the nt entries it set, instead of allocating two fresh
+    // vectors per inversion cell.
+    let mut std = vec![0.0; nm];
+    std.par_iter_mut().enumerate().for_each_init(
+        || (vec![0.0; nm * nt], vec![0.0; n_d]),
+        |(e, ge), (c, out)| {
             for t in 0..nt {
                 e[t * nm + c] = dt_obs;
             }
-            let mut ge = vec![0.0; p1.fast_f.nrows()];
-            p2.fast_g.matvec_serial(&e, &mut ge);
+            p2.fast_g.matvec_serial(e, ge);
+            for t in 0..nt {
+                e[t * nm + c] = 0.0;
+            }
             // ‖L⁻¹ Ge‖²: forward substitution only.
-            p2.k_chol.solve_lower_in_place(&mut ge);
+            p2.k_chol.solve_lower_in_place(ge);
             let reduction: f64 = ge.iter().map(|v| v * v).sum();
             let prior_part = nt as f64 * dt_obs * dt_obs * prior_var[c];
-            (prior_part - reduction).max(0.0).sqrt()
-        })
-        .collect()
+            *out = (prior_part - reduction).max(0.0).sqrt();
+        },
+    );
+    std
 }
 
 /// Draw an exact posterior sample by Matheron's rule:

@@ -4,9 +4,10 @@ use crate::config::TwinConfig;
 use crate::phase1::Phase1;
 use crate::phase2::Phase2;
 use crate::phase3::Phase3;
-use crate::phase4::{self, Forecast, Inference};
+use crate::phase4::{self, Forecast, ForecastBatch, Inference, InferenceBatch};
 use crate::stprior::SpaceTimePrior;
 use tsunami_hpc::TimerRegistry;
+use tsunami_linalg::DMatrix;
 use tsunami_solver::WaveSolver;
 
 /// A fully precomputed digital twin, ready for real-time assimilation.
@@ -60,6 +61,19 @@ impl DigitalTwin {
     /// Online Phase 4b: forecast wave heights with credible intervals.
     pub fn forecast(&self, d_obs: &[f64]) -> Forecast {
         phase4::predict(&self.phase3, d_obs)
+    }
+
+    /// Batched Phase 4a: infer posterior means for a block of observation
+    /// streams (`d_obs` is `(Nd·Nt) × B`, one scenario per column) in one
+    /// multi-RHS solve + one batched FFT pass.
+    pub fn infer_batch(&self, d_obs: &DMatrix) -> InferenceBatch {
+        phase4::infer_batch(&self.phase1, &self.phase2, d_obs)
+    }
+
+    /// Batched Phase 4b: forecast wave heights for a block of observation
+    /// streams with one dense `Q · D` product.
+    pub fn forecast_batch(&self, d_obs: &DMatrix) -> ForecastBatch {
+        phase4::predict_batch(&self.phase3, d_obs)
     }
 
     /// Pointwise posterior std of final displacement (Fig 3e analogue).

@@ -85,7 +85,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Warm the closure up, then record `sample_size` timed samples of one
-    /// call each. Return values are passed through [`black_box`] so the
+    /// call each. Return values are passed through [`std::hint::black_box`] so the
     /// optimizer cannot delete the measured work.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let warm_deadline = Instant::now() + self.warm_up_time;

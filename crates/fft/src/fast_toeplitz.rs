@@ -28,6 +28,13 @@ use crate::toeplitz::BlockToeplitz;
 use rayon::prelude::*;
 use tsunami_linalg::{DMatrix, C64};
 
+/// Panel width for the batched multi-RHS kernels: columns transformed per
+/// traversal of the circulant symbols. Sized so a frequency's
+/// `dim × PANEL` complex panel stays L1-resident while still amortizing
+/// each symbol load over many columns; Phase 2's 256-column blocks split
+/// into 16 parallel panels.
+const PANEL: usize = 16;
+
 /// FFT-form of a block lower-triangular Toeplitz operator.
 pub struct FftBlockToeplitz {
     /// Number of time blocks.
@@ -206,28 +213,190 @@ impl FftBlockToeplitz {
     }
 
     /// Multi-vector product `Y = T X` where `X` is `(in_dim·nt) × k`
-    /// column-major dense. Used to form the data-space Hessian `K` (Phase 2)
-    /// and the QoI covariance (Phase 3) without `k` separate dispatches.
+    /// dense. Used to form the data-space Hessian `K` (Phase 2), the QoI
+    /// covariance (Phase 3), and batched online inference (Phase 4)
+    /// without `k` separate dispatches.
+    ///
+    /// Columns are processed in panels of `PANEL` width: the frequency stage
+    /// loads each circulant symbol block **once per panel** and applies it
+    /// to all stacked column spectra (the paper batches the same way on
+    /// the GPU — one 2D-grid kernel over many right-hand sides), so the
+    /// dominant symbol/twiddle traffic is amortized across the batch
+    /// instead of re-paid per column. Panels run in parallel.
     pub fn matmat(&self, x: &DMatrix) -> DMatrix {
         assert_eq!(x.nrows(), self.ncols(), "fft matmat: x rows");
+        self.matmat_panels(x, false)
+    }
+
+    /// Multi-vector transpose product `Z = Tᵀ W`, batched panel-wise like
+    /// [`Self::matmat`].
+    pub fn matmat_transpose(&self, w: &DMatrix) -> DMatrix {
+        assert_eq!(w.nrows(), self.nrows(), "fft matmat_t: w rows");
+        self.matmat_panels(w, true)
+    }
+
+    /// Shared panel driver for [`Self::matmat`] / [`Self::matmat_transpose`]:
+    /// split the `k` columns into `PANEL`-wide panels, run the batched
+    /// serial kernel per panel (parallel over panels), scatter the results.
+    fn matmat_panels(&self, x: &DMatrix, transpose: bool) -> DMatrix {
         let k = x.ncols();
-        let mut y = DMatrix::zeros(self.nrows(), k);
-        // Process columns in parallel; each column is an independent matvec.
-        // (The paper batches FFTs across columns on the GPU; on CPU,
-        // column-parallelism achieves the same utilization.)
-        let cols: Vec<Vec<f64>> = (0..k)
-            .into_par_iter()
-            .map(|j| {
-                let xj = x.col(j);
-                let mut yj = vec![0.0; self.nrows()];
-                self.matvec_serial(&xj, &mut yj);
-                yj
+        let out_rows = if transpose {
+            self.ncols()
+        } else {
+            self.nrows()
+        };
+        let mut y = DMatrix::zeros(out_rows, k);
+        // A single column cannot be split into panels: dispatch to the
+        // frequency-parallel matvec (arithmetically identical) so the
+        // latency-critical one-stream path still spreads across the pool.
+        if k == 1 {
+            let mut col = vec![0.0; out_rows];
+            if transpose {
+                self.matvec_transpose(&x.col(0), &mut col);
+            } else {
+                self.matvec(&x.col(0), &mut col);
+            }
+            y.set_col(0, &col);
+            return y;
+        }
+        // Narrow the panels when the pool is wider than the batch, so a
+        // small block still occupies every worker; each panel keeps its
+        // own symbol-traversal amortization.
+        let threads = rayon::current_num_threads().max(1);
+        let width = PANEL.min(k.div_ceil(threads)).max(1);
+        let bounds: Vec<usize> = (0..k).step_by(width).collect();
+        let panels: Vec<Vec<f64>> = bounds
+            .par_iter()
+            .map(|&j0| {
+                let b = width.min(k - j0);
+                if transpose {
+                    self.matmat_transpose_panel_serial(x, j0, b)
+                } else {
+                    self.matmat_panel_serial(x, j0, b)
+                }
             })
             .collect();
-        for (j, cj) in cols.iter().enumerate() {
-            y.set_col(j, cj);
+        for (&j0, panel) in bounds.iter().zip(&panels) {
+            debug_assert_eq!(panel.len() / out_rows, width.min(k - j0));
+            for (jj, col) in panel.chunks_exact(out_rows).enumerate() {
+                y.set_col(j0 + jj, col);
+            }
         }
         y
+    }
+
+    /// Batched serial kernel for one panel of `b` columns of `Y = T X`
+    /// (columns `j0..j0+b` of `x`). Returns the panel column-major
+    /// (`panel[j*nrows + i]`).
+    ///
+    /// Spectra of the panel are stored frequency-major
+    /// (`xhat[(f·in_dim + s)·b + j]`), so the frequency stage reads one
+    /// contiguous `in_dim × b` complex panel per frequency and each symbol
+    /// entry `T̂(f)[r,c]` is loaded once and fused-multiply-added across
+    /// all `b` stacked spectra.
+    fn matmat_panel_serial(&self, x: &DMatrix, j0: usize, b: usize) -> Vec<f64> {
+        let (od, id, len, nt) = (self.out_dim, self.in_dim, self.len, self.nt);
+        // Forward stage: b·in_dim FFTs, scattered frequency-major.
+        let mut xhat = vec![C64::ZERO; len * id * b];
+        let mut buf = vec![C64::ZERO; len];
+        for s in 0..id {
+            for j in 0..b {
+                buf.fill(C64::ZERO);
+                for t in 0..nt {
+                    buf[t] = C64::real(x[(t * id + s, j0 + j)]);
+                }
+                self.plan.forward(&mut buf);
+                for (f, &v) in buf.iter().enumerate() {
+                    xhat[(f * id + s) * b + j] = v;
+                }
+            }
+        }
+        // Frequency stage: ŷ_f = T̂_f · X̂_f, one symbol traversal per panel.
+        let mut yhat = vec![C64::ZERO; len * od * b];
+        for f in 0..len {
+            let blk = &self.spectra[f * od * id..(f + 1) * od * id];
+            let xpan = &xhat[f * id * b..(f + 1) * id * b];
+            let ypan = &mut yhat[f * od * b..(f + 1) * od * b];
+            for r in 0..od {
+                let row = &blk[r * id..(r + 1) * id];
+                let yrow = &mut ypan[r * b..(r + 1) * b];
+                for (c, &w) in row.iter().enumerate() {
+                    let xrow = &xpan[c * b..(c + 1) * b];
+                    for (yv, &xv) in yrow.iter_mut().zip(xrow) {
+                        *yv = yv.mul_add(w, xv);
+                    }
+                }
+            }
+        }
+        // Inverse stage: b·out_dim inverse FFTs, keep the first nt samples.
+        let mut out = vec![0.0; self.nrows() * b];
+        for r in 0..od {
+            for j in 0..b {
+                for (f, v) in buf.iter_mut().enumerate() {
+                    *v = yhat[(f * od + r) * b + j];
+                }
+                self.plan.inverse(&mut buf);
+                let col = &mut out[j * self.nrows()..(j + 1) * self.nrows()];
+                for t in 0..nt {
+                    col[t * od + r] = buf[t].re;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched serial kernel for one panel of `Z = Tᵀ W` (columns
+    /// `j0..j0+b` of `w`), via the time-reversal identity
+    /// `Tᵀ = R · Toep(T_kᵀ) · R`. Returns the panel column-major.
+    fn matmat_transpose_panel_serial(&self, w: &DMatrix, j0: usize, b: usize) -> Vec<f64> {
+        let (od, id, len, nt) = (self.out_dim, self.in_dim, self.len, self.nt);
+        // Forward stage on the time-reversed inputs.
+        let mut vhat = vec![C64::ZERO; len * od * b];
+        let mut buf = vec![C64::ZERO; len];
+        for r in 0..od {
+            for j in 0..b {
+                buf.fill(C64::ZERO);
+                for t in 0..nt {
+                    buf[nt - 1 - t] = C64::real(w[(t * od + r, j0 + j)]);
+                }
+                self.plan.forward(&mut buf);
+                for (f, &v) in buf.iter().enumerate() {
+                    vhat[(f * od + r) * b + j] = v;
+                }
+            }
+        }
+        // Frequency stage with transposed blocks: û_f = T̂_fᵀ · v̂_f.
+        let mut uhat = vec![C64::ZERO; len * id * b];
+        for f in 0..len {
+            let blk = &self.spectra[f * od * id..(f + 1) * od * id];
+            let vpan = &vhat[f * od * b..(f + 1) * od * b];
+            let upan = &mut uhat[f * id * b..(f + 1) * id * b];
+            for r in 0..od {
+                let row = &blk[r * id..(r + 1) * id];
+                let vrow = &vpan[r * b..(r + 1) * b];
+                for (c, &wrc) in row.iter().enumerate() {
+                    let urow = &mut upan[c * b..(c + 1) * b];
+                    for (uv, &vv) in urow.iter_mut().zip(vrow) {
+                        *uv = uv.mul_add(wrc, vv);
+                    }
+                }
+            }
+        }
+        // Inverse stage, reading the tail time-reversed.
+        let mut out = vec![0.0; self.ncols() * b];
+        for c in 0..id {
+            for j in 0..b {
+                for (f, v) in buf.iter_mut().enumerate() {
+                    *v = uhat[(f * id + c) * b + j];
+                }
+                self.plan.inverse(&mut buf);
+                let col = &mut out[j * self.ncols()..(j + 1) * self.ncols()];
+                for t in 0..nt {
+                    col[t * id + c] = buf[nt - 1 - t].re;
+                }
+            }
+        }
+        out
     }
 
     /// Serial matvec (no inner rayon) — used by [`Self::matmat`], where
@@ -306,26 +475,6 @@ impl FftBlockToeplitz {
                 z[t * self.in_dim + c] = buf[self.nt - 1 - t].re;
             }
         }
-    }
-
-    /// Multi-vector transpose product `Z = Tᵀ W`.
-    pub fn matmat_transpose(&self, w: &DMatrix) -> DMatrix {
-        assert_eq!(w.nrows(), self.nrows(), "fft matmat_t: w rows");
-        let k = w.ncols();
-        let mut z = DMatrix::zeros(self.ncols(), k);
-        let cols: Vec<Vec<f64>> = (0..k)
-            .into_par_iter()
-            .map(|j| {
-                let wj = w.col(j);
-                let mut zj = vec![0.0; self.ncols()];
-                self.matvec_transpose_serial(&wj, &mut zj);
-                zj
-            })
-            .collect();
-        for (j, cj) in cols.iter().enumerate() {
-            z.set_col(j, cj);
-        }
-        z
     }
 }
 
@@ -429,6 +578,52 @@ mod tests {
             fast.matvec(&x.col(j), &mut yj);
             for i in 0..t.nrows() {
                 assert!((y[(i, j)] - yj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matmat_matches_column_matvecs_across_panel_boundary() {
+        // Batch widths straddling PANEL: single ragged panel, exactly one
+        // panel, one full + one ragged, and several full panels.
+        let t = random_toeplitz(7, 3, 4, 12);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        for &k in &[1usize, 15, 16, 17, 40] {
+            let x = DMatrix::from_fn(t.ncols(), k, |i, j| ((i + 3 * j) as f64 * 0.29).sin());
+            let y = fast.matmat(&x);
+            for j in 0..k {
+                let mut yj = vec![0.0; t.nrows()];
+                fast.matvec(&x.col(j), &mut yj);
+                for i in 0..t.nrows() {
+                    assert!(
+                        (y[(i, j)] - yj[i]).abs() < 1e-12,
+                        "k={k} col {j} row {i}: {} vs {}",
+                        y[(i, j)],
+                        yj[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmat_transpose_matches_column_matvecs() {
+        let t = random_toeplitz(10, 4, 3, 21);
+        let fast = FftBlockToeplitz::from_blocks(&t);
+        for &k in &[1usize, 5, 16, 19, 33] {
+            let w = DMatrix::from_fn(t.nrows(), k, |i, j| ((2 * i + j) as f64 * 0.13).cos());
+            let z = fast.matmat_transpose(&w);
+            for j in 0..k {
+                let mut zj = vec![0.0; t.ncols()];
+                fast.matvec_transpose(&w.col(j), &mut zj);
+                for i in 0..t.ncols() {
+                    assert!(
+                        (z[(i, j)] - zj[i]).abs() < 1e-12,
+                        "k={k} col {j} row {i}: {} vs {}",
+                        z[(i, j)],
+                        zj[i]
+                    );
+                }
             }
         }
     }

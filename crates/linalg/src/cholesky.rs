@@ -14,6 +14,13 @@ use rayon::prelude::*;
 /// `NB × NB` tiles.
 const NB: usize = 64;
 
+/// Panel width for the multi-RHS triangular solves: right-hand sides
+/// handled per traversal of the factor. Wide enough to amortize the
+/// factor loads (the backward sweep's column-strided reads especially),
+/// narrow enough that a `Nd·Nt`-sized panel row stays cache-resident and
+/// that typical batches still split into several parallel panels.
+const SOLVE_PANEL: usize = 32;
+
 /// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
 pub struct Cholesky {
     /// `n × n` matrix whose lower triangle holds `L` (upper triangle is
@@ -186,18 +193,111 @@ impl Cholesky {
         x
     }
 
-    /// Solve `A X = B` for a multi-RHS block, columns in parallel.
-    /// `B` is `n × nrhs`; returns `X` of the same shape.
+    /// Solve `A X = B` for a multi-RHS block. `B` is `n × nrhs`; returns
+    /// `X` of the same shape.
+    ///
+    /// Columns are processed in panels of `SOLVE_PANEL` right-hand sides:
+    /// within a panel one forward/backward sweep walks the factor *once*
+    /// and applies each `L_ij` to the whole panel row, so factor loads are
+    /// amortized across the batch instead of being re-paid per RHS. Panels
+    /// run in parallel.
     pub fn solve_multi(&self, b: &DMatrix) -> DMatrix {
         assert_eq!(b.nrows(), self.dim(), "solve_multi: rhs rows");
-        // Work column-wise: transpose so each RHS is contiguous.
-        let bt = b.transpose();
+        let nrhs = b.ncols();
+        // Narrow the panels when the pool is wider than the batch, so a
+        // small online batch still spreads across all workers instead of
+        // running as one serial panel (each narrower panel still amortizes
+        // the factor walk over its own columns).
+        let threads = rayon::current_num_threads().max(1);
+        let panel = SOLVE_PANEL.min(nrhs.div_ceil(threads)).max(1);
+        if nrhs <= panel {
+            let mut x = b.clone();
+            self.solve_multi_in_place(&mut x);
+            return x;
+        }
+        let mut x = DMatrix::zeros(b.nrows(), nrhs);
+        let bounds: Vec<usize> = (0..nrhs).step_by(panel).collect();
+        let panels: Vec<DMatrix> = bounds
+            .par_iter()
+            .map(|&j0| {
+                let j1 = (j0 + panel).min(nrhs);
+                let mut p = b.col_panel(j0, j1);
+                self.solve_multi_in_place(&mut p);
+                p
+            })
+            .collect();
+        for (&j0, p) in bounds.iter().zip(&panels) {
+            x.set_col_panel(j0, p);
+        }
+        x
+    }
+
+    /// Solve `A X = B` in place on a row-major multi-RHS block: one
+    /// forward sweep (`L Y = B`) and one backward sweep (`Lᵀ X = Y`), each
+    /// walking the factor once for all columns.
+    pub fn solve_multi_in_place(&self, b: &mut DMatrix) {
+        self.solve_lower_multi_in_place(b);
+        self.solve_upper_multi_in_place(b);
+    }
+
+    /// Forward substitution `L Y = B` in place for a multi-RHS block
+    /// (`B` is `n × nrhs`, row-major, so each factor entry streams across
+    /// a contiguous panel row). The multi-RHS analogue of
+    /// [`Self::solve_lower_in_place`].
+    pub fn solve_lower_multi_in_place(&self, b: &mut DMatrix) {
         let n = self.dim();
-        let mut xt = bt;
-        xt.as_mut_slice().par_chunks_mut(n).for_each(|col| {
-            self.solve_in_place(col);
-        });
-        xt.transpose()
+        assert_eq!(b.nrows(), n, "solve_lower_multi: rhs rows");
+        let nrhs = b.ncols();
+        let data = b.as_mut_slice();
+        for i in 0..n {
+            let lrow = self.l.row(i);
+            let (done, rest) = data.split_at_mut(i * nrhs);
+            let bi = &mut rest[..nrhs];
+            for (j, &lij) in lrow[..i].iter().enumerate() {
+                if lij == 0.0 {
+                    continue;
+                }
+                let bj = &done[j * nrhs..(j + 1) * nrhs];
+                for (x, &y) in bi.iter_mut().zip(bj) {
+                    *x -= lij * y;
+                }
+            }
+            // Divide (don't multiply by a reciprocal): keeps every column
+            // bit-identical to the single-RHS sweep, so B=1 wrappers and
+            // leading-window solves agree to the last ulp.
+            let piv = lrow[i];
+            for x in bi.iter_mut() {
+                *x /= piv;
+            }
+        }
+    }
+
+    /// Backward substitution `Lᵀ X = Y` in place for a multi-RHS block.
+    /// The column-strided loads of `L_ji` are paid once per factor entry
+    /// and amortized over the panel width.
+    fn solve_upper_multi_in_place(&self, b: &mut DMatrix) {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "solve_upper_multi: rhs rows");
+        let nrhs = b.ncols();
+        let data = b.as_mut_slice();
+        for i in (0..n).rev() {
+            let (head, tail) = data.split_at_mut((i + 1) * nrhs);
+            let bi = &mut head[i * nrhs..];
+            for j in (i + 1)..n {
+                let lji = self.l[(j, i)];
+                if lji == 0.0 {
+                    continue;
+                }
+                let bj = &tail[(j - i - 1) * nrhs..(j - i) * nrhs];
+                for (x, &y) in bi.iter_mut().zip(bj) {
+                    *x -= lji * y;
+                }
+            }
+            let piv = self.l[(i, i)];
+            for x in bi.iter_mut() {
+                *x /= piv;
+            }
+        }
     }
 
     /// Forward substitution only: solve `L y = b` in place. Used by
@@ -347,6 +447,64 @@ mod tests {
             let xj = ch.solve(&b.col(j));
             for i in 0..n {
                 assert!((x[(i, j)] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_matches_single_across_panel_boundary() {
+        // Widths straddling SOLVE_PANEL exercise both the single-panel
+        // fast path and the panel-parallel decomposition (including a
+        // ragged final panel).
+        let n = 53;
+        let a = spd(n, 13);
+        let ch = Cholesky::factor(&a).unwrap();
+        for &nrhs in &[1usize, 31, 32, 33, 70] {
+            let b = DMatrix::from_fn(n, nrhs, |i, j| ((i * 3 + 5 * j) as f64 * 0.17).sin());
+            let x = ch.solve_multi(&b);
+            for j in 0..nrhs {
+                let xj = ch.solve(&b.col(j));
+                for i in 0..n {
+                    assert!(
+                        (x[(i, j)] - xj[i]).abs() < 1e-11,
+                        "nrhs={nrhs} col {j} row {i}: {} vs {}",
+                        x[(i, j)],
+                        xj[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_multi_matches_single() {
+        let n = 41;
+        let a = spd(n, 8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = DMatrix::from_fn(n, 9, |i, j| ((i + 11 * j) as f64 * 0.23).cos());
+        let mut y = b.clone();
+        ch.solve_lower_multi_in_place(&mut y);
+        for j in 0..9 {
+            let mut yj = b.col(j);
+            ch.solve_lower_in_place(&mut yj);
+            for i in 0..n {
+                assert!((y[(i, j)] - yj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_in_place_matches_solve_multi() {
+        let n = 37;
+        let a = spd(n, 17);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = DMatrix::from_fn(n, 12, |i, j| ((2 * i + j) as f64 * 0.31).sin());
+        let x1 = ch.solve_multi(&b);
+        let mut x2 = b;
+        ch.solve_multi_in_place(&mut x2);
+        for i in 0..n {
+            for j in 0..12 {
+                assert!((x1[(i, j)] - x2[(i, j)]).abs() < 1e-13);
             }
         }
     }

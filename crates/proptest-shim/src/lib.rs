@@ -184,7 +184,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact length or a
+    /// Element-count specification for [`vec()`]: an exact length or a
     /// half-open range of lengths.
     #[derive(Clone, Debug)]
     pub struct SizeRange {

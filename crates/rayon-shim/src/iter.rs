@@ -7,7 +7,7 @@
 //! iterator per piece ([`ParallelIterator::into_seq`]). Adapters (`map`,
 //! `filter`, `enumerate`, `zip`, `fold`, splitting hints) compose over that
 //! splitting structure; terminals hand the composed iterator to the
-//! [`crate::engine`] which fans pieces out across scoped worker threads.
+//! `crate::engine` which fans pieces out across scoped worker threads.
 //!
 //! Closure-carrying adapters store their closure in an [`Arc`] so pieces on
 //! different workers share one instance — hence the `Sync + Send` bounds on

@@ -5,9 +5,9 @@
 //! `into_par_iter` / `par_chunks{,_mut}` entry points used across the hot
 //! paths resolve here. Since PR 2 they are **genuinely parallel**: each
 //! producer is a splittable, exactly-sized parallel iterator ([`iter`],
-//! [`slice`]), and every terminal (`for_each`, `for_each_init`, `map` +
+//! [`mod@slice`]), and every terminal (`for_each`, `for_each_init`, `map` +
 //! `collect`, `fold`/`reduce`, `sum`, `count`) fans pieces out across a
-//! `std::thread::scope`-based chunk-splitting pool ([`engine`] internals):
+//! `std::thread::scope`-based chunk-splitting pool (`engine` internals):
 //! the iterator is pre-split into more pieces than workers, and workers
 //! dynamically claim pieces off a shared cursor, so fast workers absorb the
 //! slack of slow ones. [`join`] and [`scope`] run their closures on scoped

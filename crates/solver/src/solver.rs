@@ -51,6 +51,17 @@ impl WaveSolver {
         self.forward_with(m, |_, _| {})
     }
 
+    /// Forward-solve a batch of parameter fields, parallel over scenarios.
+    /// Each scenario is an independent PDE solve, so this is the
+    /// scenario-bank analogue of the batched FFT/solve kernels: one call
+    /// turns `B` rupture scenarios into `B` observation streams. Nested
+    /// bulk ops inside each solve stay serial on worker threads (rayon-shim
+    /// contract), so scenario-parallelism does not oversubscribe.
+    pub fn forward_batch(&self, ms: &[Vec<f64>]) -> Vec<(Vec<f64>, Vec<f64>)> {
+        use rayon::prelude::*;
+        ms.par_iter().map(|m| self.forward(m)).collect()
+    }
+
     /// Forward solve with an observation-step callback.
     pub fn forward_with(
         &self,

@@ -1,0 +1,80 @@
+//! Scenario bank: assimilate a whole family of rupture scenarios through
+//! the batched online path in one call, and compare against the looped
+//! single-RHS path.
+//!
+//! ```text
+//! cargo run --release --example scenario_bank
+//! ```
+
+use cascadia_dt::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    println!("== Scenario bank: batched online assimilation ==\n");
+    let config = TwinConfig::tiny();
+
+    // 1. A diverse family of rupture scenarios: hypocenter, magnitude
+    //    (peak uplift), rise time, and asperity count all vary.
+    let n_scenarios = 12;
+    let specs = ScenarioBank::family(&config, n_scenarios, 7);
+    let solver = config.build_solver();
+    let t0 = Instant::now();
+    let bank = ScenarioBank::generate(&config, &solver, &specs);
+    println!(
+        "generated {} scenarios ({} observations each) in {:.2} s",
+        bank.len(),
+        bank.observations().nrows(),
+        t0.elapsed().as_secs_f64()
+    );
+    drop(solver);
+
+    // 2. One precomputed twin serves the whole bank.
+    let t1 = Instant::now();
+    let twin = DigitalTwin::offline(config, bank.noise_std());
+    println!("offline phases 1-3: {:.2} s\n", t1.elapsed().as_secs_f64());
+
+    // 3. Batched assimilation: one multi-RHS K⁻¹ solve + one batched FFT
+    //    pass for all scenarios.
+    let out = bank.assimilate(&twin);
+    println!(
+        "batched assimilation of {} scenarios: infer {:.3} ms, forecast {:.3} ms",
+        bank.len(),
+        out.inference.seconds * 1e3,
+        out.forecast.seconds * 1e3
+    );
+
+    // 4. The same work through the looped single-RHS path, for contrast.
+    let t2 = Instant::now();
+    for j in 0..bank.len() {
+        let d_j = bank.observations().col(j);
+        let _ = twin.infer(&d_j);
+        let _ = twin.forecast(&d_j);
+    }
+    let looped = t2.elapsed().as_secs_f64();
+    let batched = out.inference.seconds + out.forecast.seconds;
+    println!(
+        "looped single-RHS path:            infer+forecast {:.3} ms  ({:.1}x batched)",
+        looped * 1e3,
+        looped / batched.max(1e-12)
+    );
+
+    // 5. Per-scenario report.
+    let errs = bank.forecast_errors(&out.forecast);
+    println!(
+        "\n{:>3}  {:>6}  {:>8}  {:>6}  {:>6}  {:>9}",
+        "#", "Mw", "hypo", "rise", "n_asp", "rel L2 err"
+    );
+    for (j, (s, e)) in bank.scenarios.iter().zip(&errs).enumerate() {
+        println!(
+            "{:>3}  {:>6.2}  {:>7.0}%  {:>5.1}s  {:>6}  {:>9.3}",
+            j,
+            s.event.magnitude,
+            100.0 * s.spec.hypo_frac,
+            s.spec.rise_time,
+            s.spec.n_asperities,
+            e
+        );
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    println!("\nmean forecast error over the bank: {mean:.3}");
+}

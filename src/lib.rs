@@ -55,8 +55,9 @@ pub use tsunami_solver as solver;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use tsunami_core::{
-        greedy_design, infer_window, Criterion, DigitalTwin, Forecast, Inference, LtiBayesEngine,
-        LtiModel, OedCandidates, SpaceTimePrior, SyntheticEvent, TwinConfig, WindowedForecaster,
+        greedy_design, infer_window, BankAssimilation, Criterion, DigitalTwin, Forecast,
+        ForecastBatch, Inference, InferenceBatch, LtiBayesEngine, LtiModel, OedCandidates,
+        ScenarioBank, ScenarioSpec, SpaceTimePrior, SyntheticEvent, TwinConfig, WindowedForecaster,
     };
     pub use tsunami_elastic::{
         DippingFault, ElasticGrid, ElasticSolver, LayeredMedium, ShakeTwin, SlipScenario,
