@@ -1,0 +1,104 @@
+//! Criterion bench: streaming-engine tick throughput, batched vs looped.
+//!
+//! All `B` live sessions cross the full-horizon window rung and are
+//! assimilated in one tick. The *batched* engine (chunk = 64) pays one
+//! leading-block factor walk per panel and one dense `Q_w · D` product;
+//! the *looped* engine (chunk = 1) is the same machinery degraded to one
+//! panel per session — the per-session dispatch the micro-batching
+//! replaces. A raw per-session baseline (direct `forecast` +
+//! `infer_window` calls, no engine) isolates the engine's own overhead.
+//!
+//! Run with `RAYON_NUM_THREADS=1` to measure the amortization itself; the
+//! acceptance target is the batched tick ≥ 2× the looped tick at B=64,
+//! with B=1 parity. Set `BENCH_SMOKE=1` for a 1-sample CI smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use tsunami_core::window::infer_window;
+use tsunami_core::{DigitalTwin, TwinConfig};
+use tsunami_stream::{StreamConfig, StreamEngine};
+
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    // Stretched tiny config: same PDE mesh, but a 4×4 sensor array over a
+    // 32-step horizon (Nd·Nt = 512). The 512² Cholesky factor (2 MB) no
+    // longer fits in cache, so the per-session factor re-walk the looped
+    // path pays is a real memory-bandwidth cost — the regime the
+    // micro-batching engine exists for. (On the 48-dim `tiny()` data
+    // space everything is L1-resident and the un-amortizable FFT
+    // arithmetic floor caps the ratio.)
+    let mut cfg = TwinConfig::tiny();
+    cfg.sensor_grid = (4, 4);
+    cfg.nt_obs = 32;
+    let twin = DigitalTwin::offline(cfg, 0.02);
+    let nt = twin.solver.grid.nt_obs;
+    let forecaster = twin.windowed(&[nt / 2, nt]);
+    let w = forecaster.windows.len() - 1;
+    let n_d = twin.n_data();
+
+    let batch_sizes: &[usize] = if smoke { &[1, 64] } else { &[1, 16, 64] };
+
+    let mut group = c.benchmark_group("streaming_tick");
+    group.warm_up_time(Duration::from_millis(if smoke { 10 } else { 300 }));
+    group.sample_size(if smoke { 1 } else { 10 });
+    for &b in batch_sizes {
+        // Distinct synthetic streams, preloaded to the full horizon.
+        let streams: Vec<Vec<f64>> = (0..b)
+            .map(|j| {
+                (0..n_d)
+                    .map(|i| ((i * 7 + 3 * j) as f64 * 0.23).sin())
+                    .collect()
+            })
+            .collect();
+        let engine_with_chunk = |chunk: usize| {
+            let mut eng = StreamEngine::new(
+                &twin,
+                &forecaster,
+                StreamConfig {
+                    chunk,
+                    ..StreamConfig::default()
+                },
+            );
+            for d in &streams {
+                let id = eng.open();
+                eng.push(id, d);
+            }
+            eng
+        };
+
+        group.throughput(Throughput::Elements(b as u64));
+        let mut batched = engine_with_chunk(64);
+        group.bench_function(BenchmarkId::new("tick_batched", b), |bench| {
+            bench.iter(|| {
+                batched.rewind();
+                black_box(batched.tick())
+            });
+        });
+        let mut looped = engine_with_chunk(1);
+        group.bench_function(BenchmarkId::new("tick_looped", b), |bench| {
+            bench.iter(|| {
+                looped.rewind();
+                black_box(looped.tick())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("raw_looped", b), &streams, |bench, ds| {
+            bench.iter(|| {
+                for d in ds {
+                    black_box(forecaster.forecast(w, black_box(d)));
+                    black_box(infer_window(&twin.phase1, &twin.phase2, black_box(d), nt));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -68,6 +68,9 @@ pub struct ScenarioBank {
     pub scenarios: Vec<BankScenario>,
     /// Stacked noisy observations, `(Nd·Nt) × B` (scenario per column).
     d_obs: DMatrix,
+    /// Stacked noise-free observations, `(Nd·Nt) × B` — the predicted data
+    /// curves a live stream is scored against during event identification.
+    d_clean: DMatrix,
     /// Representative noise level (RMS over the per-scenario levels).
     noise_std: f64,
 }
@@ -130,8 +133,10 @@ impl ScenarioBank {
             .collect();
         let n_d = solver.n_data();
         let mut d_obs = DMatrix::zeros(n_d, scenarios.len());
+        let mut d_clean = DMatrix::zeros(n_d, scenarios.len());
         for (j, s) in scenarios.iter().enumerate() {
             d_obs.set_col(j, &s.event.d_obs);
+            d_clean.set_col(j, &s.event.d_clean);
         }
         let noise_std = (scenarios
             .iter()
@@ -142,6 +147,7 @@ impl ScenarioBank {
         ScenarioBank {
             scenarios,
             d_obs,
+            d_clean,
             noise_std,
         }
     }
@@ -159,6 +165,14 @@ impl ScenarioBank {
     /// The stacked observation block, `(Nd·Nt) × B`.
     pub fn observations(&self) -> &DMatrix {
         &self.d_obs
+    }
+
+    /// The stacked noise-free observation block, `(Nd·Nt) × B`. Row `i`
+    /// holds every scenario's predicted datum at the same (sensor, time)
+    /// slot, so sequential likelihood scoring of a partial stream reads
+    /// contiguous rows.
+    pub fn clean_observations(&self) -> &DMatrix {
+        &self.d_clean
     }
 
     /// Representative noise level for calibrating the twin
@@ -222,6 +236,11 @@ mod tests {
         let bank = ScenarioBank::generate(&cfg, &solver, &specs);
         assert_eq!(bank.len(), 8);
         assert_eq!(bank.observations().nrows(), solver.n_data());
+        // Clean block mirrors each scenario's noise-free data.
+        assert_eq!(bank.clean_observations().nrows(), solver.n_data());
+        for (j, s) in bank.scenarios.iter().enumerate() {
+            assert_eq!(bank.clean_observations().col(j), s.event.d_clean);
+        }
         // Observation columns are genuinely distinct scenarios.
         for j in 1..bank.len() {
             let a = bank.observations().col(0);

@@ -72,4 +72,4 @@ pub use phase3::Phase3;
 pub use phase4::{Forecast, ForecastBatch, Inference, InferenceBatch};
 pub use stprior::SpaceTimePrior;
 pub use twin::DigitalTwin;
-pub use window::{infer_window, WindowedForecaster};
+pub use window::{infer_window, infer_window_batch, WindowedForecaster};

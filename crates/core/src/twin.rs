@@ -76,6 +76,14 @@ impl DigitalTwin {
         phase4::predict_batch(&self.phase3, d_obs)
     }
 
+    /// Precompute window-restricted forecast operators for a ladder of
+    /// observation windows (in observation steps) — the offline extension
+    /// that makes streaming assimilation a sequence of cheap online
+    /// applies (see [`crate::window`]).
+    pub fn windowed(&self, windows: &[usize]) -> crate::window::WindowedForecaster {
+        crate::window::WindowedForecaster::build(&self.phase1, &self.phase2, &self.phase3, windows)
+    }
+
     /// Pointwise posterior std of final displacement (Fig 3e analogue).
     pub fn displacement_uncertainty(&self) -> Vec<f64> {
         crate::posterior::displacement_std(

@@ -19,7 +19,7 @@
 use crate::phase1::Phase1;
 use crate::phase2::Phase2;
 use crate::phase3::Phase3;
-use crate::phase4::{Forecast, Inference};
+use crate::phase4::{Forecast, ForecastBatch, Inference, InferenceBatch};
 use rayon::prelude::*;
 use std::time::Instant;
 use tsunami_linalg::DMatrix;
@@ -44,7 +44,6 @@ impl WindowedForecaster {
     pub fn build(p1: &Phase1, p2: &Phase2, p3: &Phase3, windows: &[usize]) -> Self {
         let nd = p1.f.out_dim;
         let nt = p1.f.nt;
-        let n_data = nd * nt;
         let mut ws: Vec<usize> = windows
             .iter()
             .map(|&w| {
@@ -55,36 +54,24 @@ impl WindowedForecaster {
         ws.sort_unstable();
         ws.dedup();
 
+        let nq = p3.b.nrows();
         let per_window: Vec<(DMatrix, Vec<f64>)> = ws
             .par_iter()
             .map(|&w| {
                 let k = w * nd;
-                // X = K_w⁻¹ B_wᵀ, column by column via the leading-block solve.
-                let nq = p3.b.nrows();
-                let mut x = DMatrix::zeros(k, nq);
-                for r in 0..nq {
-                    let mut col: Vec<f64> = (0..k).map(|c| p3.b[(r, c)]).collect();
-                    p2.k_chol.solve_leading_in_place(k, &mut col);
-                    for i in 0..k {
-                        x[(i, r)] = col[i];
-                    }
-                }
+                // B_w = leading k columns of B; X = K_w⁻¹ B_wᵀ in one
+                // panel-blocked leading solve (the factor is walked once
+                // per panel, not once per QoI row).
+                let bw = DMatrix::from_fn(nq, k, |r, c| p3.b[(r, c)]);
+                let x = p2.k_chol.solve_leading_multi(k, &bw.transpose());
                 // Γpost(q; w) = A0 − B_w X; Q_w = Xᵀ.
-                let mut bw = DMatrix::zeros(nq, k);
-                for r in 0..nq {
-                    for c in 0..k {
-                        bw[(r, c)] = p3.b[(r, c)];
-                    }
-                }
                 let mut gpq = p3.a0.clone();
-                let bx = bw.matmul(&x);
-                gpq.add_scaled(-1.0, &bx);
+                gpq.add_scaled(-1.0, &bw.matmul(&x));
                 gpq.symmetrize();
                 let std: Vec<f64> = gpq.diag().iter().map(|&v| v.max(0.0).sqrt()).collect();
                 (x.transpose(), std)
             })
             .collect();
-        let _ = n_data;
         let (q_maps, q_stds) = per_window.into_iter().unzip();
         WindowedForecaster {
             windows: ws,
@@ -96,15 +83,23 @@ impl WindowedForecaster {
 
     /// Forecast from the first `windows[i]` observation steps of data.
     /// `d_window` must hold exactly `windows[i]·Nd` entries (the data seen
-    /// so far, time-major).
+    /// so far, time-major). B=1 wrapper over [`Self::forecast_batch`].
     pub fn forecast(&self, i: usize, d_window: &[f64]) -> Forecast {
+        let db = DMatrix::from_vec(d_window.len(), 1, d_window.to_vec());
+        self.forecast_batch(i, &db).scenario(0)
+    }
+
+    /// Forecast a whole block of observation streams from the same window:
+    /// `d_window` is `windows[i]·Nd × B`, one stream per column, and the
+    /// result is one dense `Q_w · D` product instead of `B` matvecs. The
+    /// posterior std is data-independent, so one vector serves every
+    /// column.
+    pub fn forecast_batch(&self, i: usize, d_window: &DMatrix) -> ForecastBatch {
         let t0 = Instant::now();
         let k = self.windows[i] * self.nd;
-        assert_eq!(d_window.len(), k, "window {i} expects {k} data entries");
-        let q = &self.q_maps[i];
-        let mut q_map = vec![0.0; q.nrows()];
-        q.matvec(d_window, &mut q_map);
-        Forecast {
+        assert_eq!(d_window.nrows(), k, "window {i} expects {k} data rows");
+        let q_map = self.q_maps[i].matmul(d_window);
+        ForecastBatch {
             q_map,
             q_std: self.q_stds[i].clone(),
             seconds: t0.elapsed().as_secs_f64(),
@@ -120,21 +115,44 @@ impl WindowedForecaster {
 
 /// Online inference from a truncated observation window: the exact
 /// posterior mean given only the first `k_steps` observation times,
-/// `m_map(w) = Gᵀ [K_w⁻¹ d_w ; 0]`.
+/// `m_map(w) = Gᵀ [K_w⁻¹ d_w ; 0]`. B=1 wrapper over
+/// [`infer_window_batch`].
 pub fn infer_window(p1: &Phase1, p2: &Phase2, d_window: &[f64], k_steps: usize) -> Inference {
+    let db = DMatrix::from_vec(d_window.len(), 1, d_window.to_vec());
+    let batch = infer_window_batch(p1, p2, &db, k_steps);
+    Inference {
+        m_map: batch.m_map.into_vec(),
+        seconds: batch.seconds,
+    }
+}
+
+/// Batched windowed inference: exact posterior means for a block of
+/// observation streams all truncated to the same `k_steps` window
+/// (`d_window` is `k_steps·Nd × B`, one stream per column). One
+/// panel-blocked leading solve walks the truncated factor once per panel,
+/// and one batched FFT `Gᵀ` pass maps the zero-padded block back to
+/// parameter space — instead of one factor traversal and one FFT dispatch
+/// per stream.
+pub fn infer_window_batch(
+    p1: &Phase1,
+    p2: &Phase2,
+    d_window: &DMatrix,
+    k_steps: usize,
+) -> InferenceBatch {
     let t0 = Instant::now();
     let nd = p1.f.out_dim;
     let k = k_steps * nd;
     assert!(k_steps <= p1.f.nt, "window exceeds the time horizon");
-    assert_eq!(d_window.len(), k, "expected {k} data entries");
-    let mut kd = d_window.to_vec();
-    p2.k_chol.solve_leading_in_place(k, &mut kd);
+    assert_eq!(d_window.nrows(), k, "expected {k} data rows");
+    let b = d_window.ncols();
+    let kd = p2.k_chol.solve_leading_multi(k, d_window);
     // Zero-pad to the full horizon: unobserved rows contribute nothing.
-    let mut padded = vec![0.0; p1.fast_f.nrows()];
-    padded[..k].copy_from_slice(&kd);
-    let mut m_map = vec![0.0; p1.fast_f.ncols()];
-    p2.fast_g.matvec_transpose(&padded, &mut m_map);
-    Inference {
+    // Row-major, so the leading k rows of the padded block are exactly the
+    // solved block — one contiguous copy.
+    let mut padded = DMatrix::zeros(p1.fast_f.nrows(), b);
+    padded.as_mut_slice()[..k * b].copy_from_slice(kd.as_slice());
+    let m_map = p2.fast_g.matmat_transpose(&padded);
+    InferenceBatch {
         m_map,
         seconds: t0.elapsed().as_secs_f64(),
     }
@@ -251,6 +269,75 @@ mod tests {
             e_full < e_narrow,
             "more data should improve the forecast: {e_full} vs {e_narrow}"
         );
+    }
+
+    #[test]
+    fn batched_window_path_matches_looped_single_rhs() {
+        // forecast_batch / infer_window_batch must reproduce the looped
+        // B=1 path column by column, for batch widths straddling the
+        // Cholesky SOLVE_PANEL (32) and for a mid-ladder window.
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let nd = twin.solver.sensors.len();
+        let w_steps = nt / 2;
+        let wf = WindowedForecaster::build(&twin.phase1, &twin.phase2, &twin.phase3, &[w_steps]);
+        let k = w_steps * nd;
+        for &bsz in &[1usize, 31, 33] {
+            let d = DMatrix::from_fn(k, bsz, |i, j| ((i * 3 + 7 * j) as f64 * 0.19).sin());
+
+            let fc_b = wf.forecast_batch(0, &d);
+            assert_eq!(fc_b.batch_size(), bsz);
+            let inf_b = infer_window_batch(&twin.phase1, &twin.phase2, &d, w_steps);
+            assert_eq!(inf_b.batch_size(), bsz);
+
+            for j in 0..bsz {
+                let dj = d.col(j);
+                let fc = wf.forecast(0, &dj);
+                let fj = fc_b.scenario(j);
+                for (a, b) in fj.q_map.iter().zip(&fc.q_map) {
+                    assert!(
+                        (a - b).abs() < 1e-11 * b.abs().max(1e-12),
+                        "bsz={bsz} col {j}: q_map {a} vs {b}"
+                    );
+                }
+                assert_eq!(fj.q_std, fc.q_std);
+
+                let inf = infer_window(&twin.phase1, &twin.phase2, &dj, w_steps);
+                let mj = inf_b.scenario(j);
+                let norm = inf
+                    .m_map
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+                    .sqrt()
+                    .max(1e-12);
+                for (a, b) in mj.iter().zip(&inf.m_map) {
+                    assert!(
+                        (a - b).abs() < 1e-11 * norm,
+                        "bsz={bsz} col {j}: m_map drift"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_window_batch_matches_phase4_batch() {
+        // At the full horizon the windowed batch path must agree with the
+        // unwindowed Phase-4 batch path.
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n_d = twin.n_data();
+        let bsz = 5;
+        let d = DMatrix::from_fn(n_d, bsz, |i, j| ((i + 11 * j) as f64 * 0.29).cos());
+        let inf_w = infer_window_batch(&twin.phase1, &twin.phase2, &d, nt);
+        let inf_full = twin.infer_batch(&d);
+        for i in 0..inf_full.m_map.nrows() {
+            for j in 0..bsz {
+                let (a, b) = (inf_w.m_map[(i, j)], inf_full.m_map[(i, j)]);
+                assert!((a - b).abs() < 1e-12 * b.abs().max(1e-12));
+            }
+        }
     }
 
     #[test]

@@ -203,33 +203,7 @@ impl Cholesky {
     /// run in parallel.
     pub fn solve_multi(&self, b: &DMatrix) -> DMatrix {
         assert_eq!(b.nrows(), self.dim(), "solve_multi: rhs rows");
-        let nrhs = b.ncols();
-        // Narrow the panels when the pool is wider than the batch, so a
-        // small online batch still spreads across all workers instead of
-        // running as one serial panel (each narrower panel still amortizes
-        // the factor walk over its own columns).
-        let threads = rayon::current_num_threads().max(1);
-        let panel = SOLVE_PANEL.min(nrhs.div_ceil(threads)).max(1);
-        if nrhs <= panel {
-            let mut x = b.clone();
-            self.solve_multi_in_place(&mut x);
-            return x;
-        }
-        let mut x = DMatrix::zeros(b.nrows(), nrhs);
-        let bounds: Vec<usize> = (0..nrhs).step_by(panel).collect();
-        let panels: Vec<DMatrix> = bounds
-            .par_iter()
-            .map(|&j0| {
-                let j1 = (j0 + panel).min(nrhs);
-                let mut p = b.col_panel(j0, j1);
-                self.solve_multi_in_place(&mut p);
-                p
-            })
-            .collect();
-        for (&j0, p) in bounds.iter().zip(&panels) {
-            x.set_col_panel(j0, p);
-        }
-        x
+        self.solve_leading_multi(self.dim(), b)
     }
 
     /// Solve `A X = B` in place on a row-major multi-RHS block: one
@@ -247,9 +221,15 @@ impl Cholesky {
     pub fn solve_lower_multi_in_place(&self, b: &mut DMatrix) {
         let n = self.dim();
         assert_eq!(b.nrows(), n, "solve_lower_multi: rhs rows");
+        self.solve_lower_multi_leading(n, b);
+    }
+
+    /// Forward sweep restricted to the leading `k × k` block of the factor
+    /// (`b` is `k × nrhs`).
+    fn solve_lower_multi_leading(&self, k: usize, b: &mut DMatrix) {
         let nrhs = b.ncols();
         let data = b.as_mut_slice();
-        for i in 0..n {
+        for i in 0..k {
             let lrow = self.l.row(i);
             let (done, rest) = data.split_at_mut(i * nrhs);
             let bi = &mut rest[..nrhs];
@@ -278,12 +258,18 @@ impl Cholesky {
     fn solve_upper_multi_in_place(&self, b: &mut DMatrix) {
         let n = self.dim();
         assert_eq!(b.nrows(), n, "solve_upper_multi: rhs rows");
+        self.solve_upper_multi_leading(n, b);
+    }
+
+    /// Backward sweep restricted to the leading `k × k` block of the factor
+    /// (`b` is `k × nrhs`).
+    fn solve_upper_multi_leading(&self, k: usize, b: &mut DMatrix) {
         let nrhs = b.ncols();
         let data = b.as_mut_slice();
-        for i in (0..n).rev() {
+        for i in (0..k).rev() {
             let (head, tail) = data.split_at_mut((i + 1) * nrhs);
             let bi = &mut head[i * nrhs..];
-            for j in (i + 1)..n {
+            for j in (i + 1)..k {
                 let lji = self.l[(j, i)];
                 if lji == 0.0 {
                     continue;
@@ -364,6 +350,54 @@ impl Cholesky {
             }
             b[i] = s / self.l[(i, i)];
         }
+    }
+
+    /// Solve `A[..k, ..k] X = B` in place for a multi-RHS block restricted
+    /// to the leading `k × k` principal block (`b` is `k × nrhs`). The
+    /// multi-RHS analogue of [`Self::solve_leading_in_place`]: one forward
+    /// and one backward sweep each walk the truncated factor *once* for the
+    /// whole panel, so a batch of truncated-window right-hand sides pays a
+    /// single factor traversal instead of one per stream. Pivot division is
+    /// retained, so every column stays bit-identical to the single-RHS
+    /// leading solve.
+    pub fn solve_leading_multi_in_place(&self, k: usize, b: &mut DMatrix) {
+        assert!(k <= self.dim(), "leading block exceeds dimension");
+        assert_eq!(b.nrows(), k, "solve_leading_multi: rhs rows");
+        self.solve_lower_multi_leading(k, b);
+        self.solve_upper_multi_leading(k, b);
+    }
+
+    /// Solve `A[..k, ..k] X = B` for a multi-RHS block, returning `X`.
+    /// Columns are processed in panels exactly like [`Self::solve_multi`]
+    /// (narrowed when the thread pool is wider than the batch), each panel
+    /// solved against the leading block by
+    /// [`Self::solve_leading_multi_in_place`]; panels run in parallel.
+    pub fn solve_leading_multi(&self, k: usize, b: &DMatrix) -> DMatrix {
+        assert!(k <= self.dim(), "leading block exceeds dimension");
+        assert_eq!(b.nrows(), k, "solve_leading_multi: rhs rows");
+        let nrhs = b.ncols();
+        let threads = rayon::current_num_threads().max(1);
+        let panel = SOLVE_PANEL.min(nrhs.div_ceil(threads)).max(1);
+        if nrhs <= panel {
+            let mut x = b.clone();
+            self.solve_leading_multi_in_place(k, &mut x);
+            return x;
+        }
+        let mut x = DMatrix::zeros(k, nrhs);
+        let bounds: Vec<usize> = (0..nrhs).step_by(panel).collect();
+        let panels: Vec<DMatrix> = bounds
+            .par_iter()
+            .map(|&j0| {
+                let j1 = (j0 + panel).min(nrhs);
+                let mut p = b.col_panel(j0, j1);
+                self.solve_leading_multi_in_place(k, &mut p);
+                p
+            })
+            .collect();
+        for (&j0, p) in bounds.iter().zip(&panels) {
+            x.set_col_panel(j0, p);
+        }
+        x
     }
 
     /// Forward substitution on the leading block only: `L[..k,..k] y = b`.
@@ -563,6 +597,50 @@ mod tests {
         ch.solve_leading_in_place(n, &mut x);
         for (u, v) in x.iter().zip(&x_full) {
             assert!((u - v).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn solve_leading_multi_matches_single_leading() {
+        // Every column of the leading-block panel solve must be
+        // bit-compatible with the single-RHS leading solve, across widths
+        // straddling SOLVE_PANEL and truncation depths straddling NB.
+        let n = 97;
+        let a = spd(n, 29);
+        let ch = Cholesky::factor(&a).unwrap();
+        for &k in &[1usize, 17, 64, 97] {
+            for &nrhs in &[1usize, 31, 32, 33, 70] {
+                let b = DMatrix::from_fn(k, nrhs, |i, j| ((i * 7 + 3 * j) as f64 * 0.13).sin());
+                let x = ch.solve_leading_multi(k, &b);
+                let mut x2 = b.clone();
+                ch.solve_leading_multi_in_place(k, &mut x2);
+                for j in 0..nrhs {
+                    let mut xj = b.col(j);
+                    ch.solve_leading_in_place(k, &mut xj);
+                    for i in 0..k {
+                        assert!(
+                            (x[(i, j)] - xj[i]).abs() < 1e-11,
+                            "k={k} nrhs={nrhs} col {j} row {i}"
+                        );
+                        assert_eq!(x2[(i, j)], x[(i, j)], "in-place vs panel split");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_leading_multi_full_width_equals_solve_multi() {
+        let n = 41;
+        let a = spd(n, 33);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = DMatrix::from_fn(n, 9, |i, j| ((i + 13 * j) as f64 * 0.27).cos());
+        let x1 = ch.solve_multi(&b);
+        let x2 = ch.solve_leading_multi(n, &b);
+        for i in 0..n {
+            for j in 0..9 {
+                assert!((x1[(i, j)] - x2[(i, j)]).abs() < 1e-13);
+            }
         }
     }
 

@@ -1,0 +1,290 @@
+//! Integration tests for the streaming engine against the one-shot
+//! windowed path: incremental feeding must reproduce one-shot results to
+//! ≤ 1e-10, chunking must not change answers, the working set must stay
+//! bounded by the chunk panel, and identification must rank the true
+//! scenario first.
+
+use tsunami_core::window::infer_window;
+use tsunami_core::{DigitalTwin, ScenarioBank, TwinConfig};
+use tsunami_stream::{StreamConfig, StreamEngine, WarningLevel};
+
+fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    num / den.max(1e-300)
+}
+
+fn setup_bank(n: usize, seed: u64) -> (DigitalTwin, ScenarioBank) {
+    let cfg = TwinConfig::tiny();
+    let solver = cfg.build_solver();
+    let specs = ScenarioBank::family(&cfg, n, seed);
+    let bank = ScenarioBank::generate(&cfg, &solver, &specs);
+    drop(solver);
+    let twin = DigitalTwin::offline(cfg, bank.noise_std());
+    (twin, bank)
+}
+
+#[test]
+fn incremental_streaming_matches_one_shot_window_results() {
+    let (twin, bank) = setup_bank(2, 11);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let wf = twin.windowed(&[2, nt / 2, nt]);
+    let d_full = bank.observations().col(0);
+
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default()).with_bank(&bank);
+    let id = engine.open();
+
+    // Feed the stream in deliberately awkward pieces: 3 samples at a time
+    // (not aligned to the Nd=4 step size), ticking after every push.
+    let mut fed = 0;
+    while fed < d_full.len() {
+        let hi = (fed + 3).min(d_full.len());
+        engine.push(id, &d_full[fed..hi]);
+        fed = hi;
+        engine.tick();
+
+        // Whenever a rung has been assimilated, the stored forecast must
+        // equal the one-shot forecast from that rung's data prefix.
+        if let Some(w) = engine.session(id).window() {
+            let k = wf.windows[w] * nd;
+            let one_shot = wf.forecast(w, &d_full[..k]);
+            let live = engine.session(id).forecast.as_ref().unwrap();
+            assert!(
+                rel_err(&live.q_map, &one_shot.q_map) < 1e-10,
+                "live forecast drifted from one-shot at rung {w}"
+            );
+            assert_eq!(live.q_std, one_shot.q_std);
+        }
+    }
+
+    // Horizon complete: the final state must match the full-window
+    // one-shot inference and forecast.
+    assert!(engine.session(id).is_complete());
+    assert_eq!(engine.session(id).window(), Some(wf.windows.len() - 1));
+    let one_shot = wf.forecast(wf.windows.len() - 1, &d_full);
+    let live = engine.session(id).forecast.as_ref().unwrap();
+    assert!(rel_err(&live.q_map, &one_shot.q_map) < 1e-10);
+
+    let inf = infer_window(&twin.phase1, &twin.phase2, &d_full, nt);
+    let m_norm_ref = inf.m_map.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let m_norm_live = engine.session(id).m_norm.unwrap();
+    assert!(
+        (m_norm_live - m_norm_ref).abs() < 1e-10 * m_norm_ref.max(1e-12),
+        "windowed inference norm drifted: {m_norm_live} vs {m_norm_ref}"
+    );
+}
+
+#[test]
+fn chunked_assimilation_matches_wide_panel_and_stays_bounded() {
+    let (twin, bank) = setup_bank(10, 23);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+
+    // Same ten streams through a narrow-chunk and a wide-chunk engine.
+    let narrow_cfg = StreamConfig {
+        chunk: 3,
+        ..StreamConfig::default()
+    };
+    let mut narrow = StreamEngine::new(&twin, &wf, narrow_cfg);
+    let mut wide = StreamEngine::new(&twin, &wf, StreamConfig::default());
+    for j in 0..bank.len() {
+        let d = bank.observations().col(j);
+        let a = narrow.open();
+        let b = wide.open();
+        narrow.push(a, &d);
+        wide.push(b, &d);
+    }
+    let tm_narrow = narrow.tick();
+    let tm_wide = wide.tick();
+
+    // Chunking is an implementation detail: answers must agree to
+    // roundoff-reshuffling levels.
+    for j in 0..bank.len() {
+        let fa = narrow.session(j).forecast.as_ref().unwrap();
+        let fb = wide.session(j).forecast.as_ref().unwrap();
+        assert!(rel_err(&fa.q_map, &fb.q_map) < 1e-12, "session {j} drift");
+        let (na, nb) = (
+            narrow.session(j).m_norm.unwrap(),
+            wide.session(j).m_norm.unwrap(),
+        );
+        assert!((na - nb).abs() < 1e-12 * nb.max(1e-12));
+    }
+
+    // Ten sessions, chunk 3 → 4 panels; one panel at chunk 64.
+    assert_eq!(tm_narrow.sessions_assimilated, 10);
+    assert_eq!(tm_narrow.panels, 4);
+    assert_eq!(tm_wide.panels, 1);
+
+    // Bounded working set: the narrow engine must never have
+    // materialized more than chunk columns of either block.
+    let bound = twin.n_data().max(twin.n_params()) * narrow_cfg.chunk;
+    assert!(
+        tm_narrow.peak_panel_elems <= bound,
+        "peak {} exceeds chunk bound {bound}",
+        tm_narrow.peak_panel_elems
+    );
+    assert!(narrow.metrics().peak_panel_elems <= bound);
+}
+
+#[test]
+fn sequential_identification_ranks_true_scenario_and_sharpens() {
+    let (twin, bank) = setup_bank(6, 42);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[1, nt / 2, nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default()).with_bank(&bank);
+
+    // Each session replays a different bank scenario's noisy stream.
+    let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
+
+    // First half of the horizon.
+    let half = twin.n_data() / 2;
+    for (j, &id) in ids.iter().enumerate() {
+        engine.push(id, &bank.observations().col(j)[..half]);
+    }
+    engine.tick();
+    let p_half: Vec<f64> = ids
+        .iter()
+        .map(|&id| engine.ranked_matches(id)[0].probability)
+        .collect();
+
+    // Rest of the horizon.
+    for (j, &id) in ids.iter().enumerate() {
+        engine.push(id, &bank.observations().col(j)[half..]);
+    }
+    engine.tick();
+
+    for (j, &id) in ids.iter().enumerate() {
+        let ranked = engine.ranked_matches(id);
+        assert_eq!(ranked.len(), bank.len());
+        assert_eq!(
+            ranked[0].scenario, j,
+            "session {j} must identify its own scenario"
+        );
+        // Sequential update: more data must not blunt a correct match.
+        assert!(
+            ranked[0].probability >= p_half[j] - 1e-9,
+            "session {j}: posterior slackened from {} to {}",
+            p_half[j],
+            ranked[0].probability
+        );
+        // Probabilities are a distribution.
+        let z: f64 = ranked.iter().map(|m| m.probability).sum();
+        assert!((z - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn warning_classification_tracks_threshold_and_tightens() {
+    let (twin, bank) = setup_bank(6, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[1, nt]);
+
+    // Pick the bank's most confidently hazardous scenario: largest lower
+    // credible bound at the full window.
+    let (mut d, mut lo_max, mut hi_max) = (Vec::new(), f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for j in 0..bank.len() {
+        let dj = bank.observations().col(j);
+        let fc = wf.forecast(wf.windows.len() - 1, &dj);
+        let lo = (0..fc.q_map.len())
+            .map(|i| fc.ci95(i).0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if lo > lo_max {
+            lo_max = lo;
+            hi_max = (0..fc.q_map.len())
+                .map(|i| fc.ci95(i).1)
+                .fold(f64::NEG_INFINITY, f64::max);
+            d = dj;
+        }
+    }
+    assert!(
+        lo_max > 0.0,
+        "the bank must hold a confidently hazardous scenario, lo_max {lo_max}"
+    );
+
+    // One engine per threshold regime; the classification must track the
+    // full-window band exactly.
+    for (thr, want) in [
+        (1e6, WarningLevel::AllClear),
+        (0.5 * (lo_max + hi_max), WarningLevel::Watch),
+        (0.5 * lo_max, WarningLevel::Warning),
+    ] {
+        let cfg = StreamConfig {
+            warn_threshold: thr,
+            ..StreamConfig::default()
+        };
+        let mut eng = StreamEngine::new(&twin, &wf, cfg);
+        let id = eng.open();
+        eng.push(id, &d);
+        eng.tick();
+        assert_eq!(eng.session(id).level, want, "threshold {thr}");
+    }
+
+    // Tightening: the credible band at the widest window is nowhere
+    // wider than at the narrowest, so a classification can only firm up
+    // as the window grows (this is the monotone q_std guarantee surfaced
+    // at the warning layer).
+    let full = wf.forecast(wf.windows.len() - 1, &d);
+    let narrow = wf.forecast(0, &d[..wf.windows[0] * twin.solver.sensors.len()]);
+    for (w, n) in full.q_std.iter().zip(&narrow.q_std) {
+        assert!(*w <= n + 1e-9 * n.abs().max(1e-12));
+    }
+}
+
+#[test]
+fn push_clamps_at_horizon_and_partial_steps_wait() {
+    let (twin, bank) = setup_bank(2, 3);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let wf = twin.windowed(&[nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default());
+    let id = engine.open();
+
+    // A partial step must not trigger assimilation.
+    let d = bank.observations().col(0);
+    engine.push(id, &d[..nd * (nt - 1) + 1]);
+    engine.tick();
+    assert_eq!(engine.session(id).steps(), nt - 1);
+    assert_eq!(engine.session(id).window(), None, "no rung crossed yet");
+
+    // Overfeeding clamps at the horizon.
+    let mut tail = d[nd * (nt - 1) + 1..].to_vec();
+    tail.extend_from_slice(&[123.0; 5]);
+    let accepted = engine.push(id, &tail);
+    assert_eq!(accepted, tail.len() - 5);
+    assert!(engine.session(id).is_complete());
+    engine.tick();
+    assert_eq!(engine.session(id).window(), Some(0));
+}
+
+#[test]
+fn rewind_reassimilates_without_rescoring() {
+    let (twin, bank) = setup_bank(2, 5);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default()).with_bank(&bank);
+    let id = engine.open();
+    engine.push(id, &bank.observations().col(0));
+    let t1 = engine.tick();
+    assert_eq!(t1.sessions_assimilated, 1);
+    assert!(t1.samples_scored > 0);
+
+    // Nothing new: an idle tick does no work.
+    let t2 = engine.tick();
+    assert_eq!(t2.sessions_assimilated, 0);
+    assert_eq!(t2.samples_scored, 0);
+
+    // Rewind re-runs the assimilation but not the scoring.
+    let before = engine.session(id).forecast.as_ref().unwrap().q_map.clone();
+    engine.rewind();
+    let t3 = engine.tick();
+    assert_eq!(t3.sessions_assimilated, 1);
+    assert_eq!(t3.samples_scored, 0);
+    let after = engine.session(id).forecast.as_ref().unwrap().q_map.clone();
+    assert_eq!(before, after);
+}

@@ -51,13 +51,15 @@ pub use tsunami_mesh as mesh;
 pub use tsunami_prior as prior;
 pub use tsunami_rupture as rupture;
 pub use tsunami_solver as solver;
+pub use tsunami_stream as stream;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use tsunami_core::{
-        greedy_design, infer_window, BankAssimilation, Criterion, DigitalTwin, Forecast,
-        ForecastBatch, Inference, InferenceBatch, LtiBayesEngine, LtiModel, OedCandidates,
-        ScenarioBank, ScenarioSpec, SpaceTimePrior, SyntheticEvent, TwinConfig, WindowedForecaster,
+        greedy_design, infer_window, infer_window_batch, BankAssimilation, Criterion, DigitalTwin,
+        Forecast, ForecastBatch, Inference, InferenceBatch, LtiBayesEngine, LtiModel,
+        OedCandidates, ScenarioBank, ScenarioSpec, SpaceTimePrior, SyntheticEvent, TwinConfig,
+        WindowedForecaster,
     };
     pub use tsunami_elastic::{
         DippingFault, ElasticGrid, ElasticSolver, LayeredMedium, ShakeTwin, SlipScenario,
@@ -70,4 +72,8 @@ pub mod prelude {
     pub use tsunami_prior::MaternPrior;
     pub use tsunami_rupture::KinematicRupture;
     pub use tsunami_solver::{PhysicalParams, WaveSolver};
+    pub use tsunami_stream::{
+        EngineMetrics, ScenarioMatch, StreamConfig, StreamEngine, StreamSession, TickMetrics,
+        WarningLevel,
+    };
 }

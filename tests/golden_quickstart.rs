@@ -49,6 +49,30 @@ fn quickstart_numbers_match_golden() {
     close(forecast.q_std[0], GOLDEN_QSTD_FIRST, "q_std[0]");
     close(ci_lo, GOLDEN_CI0_LO, "ci95(0).lo");
     close(ci_hi, GOLDEN_CI0_HI, "ci95(0).hi");
+
+    // Windowed online path: pin the half-horizon forecast (the operator
+    // the streaming engine rides). Guards the leading-block multi-RHS
+    // solve and the WindowedForecaster build the same way the full-window
+    // numbers guard the Phase-4 spine.
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let w = nt / 2;
+    let wf = twin.windowed(&[w]);
+    let wfc = wf.forecast(0, &event.d_obs[..w * nd]);
+    let wq_norm = wfc.q_map.iter().map(|v| v * v).sum::<f64>().sqrt();
+    close(wq_norm, GOLDEN_WQ_NORM, "windowed ‖q_map‖₂");
+    close(wfc.q_map[0], GOLDEN_WQ_FIRST, "windowed q_map[0]");
+    close(
+        *wfc.q_map.last().unwrap(),
+        GOLDEN_WQ_LAST,
+        "windowed q_map[last]",
+    );
+    close(wfc.q_std[0], GOLDEN_WQSTD_FIRST, "windowed q_std[0]");
+    close(
+        *wfc.q_std.last().unwrap(),
+        GOLDEN_WQSTD_LAST,
+        "windowed q_std[last]",
+    );
 }
 
 // Golden values recorded from the quickstart flow at the batch-first
@@ -64,3 +88,11 @@ const GOLDEN_Q_LAST: f64 = 2.966055170793353e-1;
 const GOLDEN_QSTD_FIRST: f64 = 2.075809616474718e-3;
 const GOLDEN_CI0_LO: f64 = -3.984233879539979e-3;
 const GOLDEN_CI0_HI: f64 = 4.1527902945647215e-3;
+
+// Windowed (half-horizon) forecast, recorded when the windowed online
+// path went multi-RHS (PR 4).
+const GOLDEN_WQ_NORM: f64 = 2.19342932478581e0;
+const GOLDEN_WQ_FIRST: f64 = 7.860876466788191e-5;
+const GOLDEN_WQ_LAST: f64 = 3.471369894750682e-1;
+const GOLDEN_WQSTD_FIRST: f64 = 2.170021184652439e-3;
+const GOLDEN_WQSTD_LAST: f64 = 6.034789015618633e0;

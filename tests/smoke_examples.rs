@@ -1,11 +1,12 @@
-//! Smoke test: the `examples/quickstart.rs` flow must run to completion on
-//! `TwinConfig::tiny()` and produce a finite, calibrated forecast.
+//! Smoke tests: the `examples/quickstart.rs` and
+//! `examples/streaming_warning.rs` flows must run to completion on
+//! `TwinConfig::tiny()` and produce finite, calibrated results.
 //!
-//! This mirrors the example's API sequence step for step (synthesize →
-//! offline phases 1-3 → online infer/forecast) so a regression in any layer
-//! the example touches fails here, in `cargo test`, without needing to
-//! spawn the example binary. CI additionally runs the binary itself
-//! (`cargo run --release --example quickstart`).
+//! These mirror the examples' API sequences step for step (synthesize →
+//! offline phases 1-3 → online work) so a regression in any layer the
+//! examples touch fails here, in `cargo test`, without needing to spawn
+//! the example binaries. CI additionally runs the quickstart binary
+//! itself (`cargo run --release --example quickstart`).
 
 use cascadia_dt::prelude::*;
 use cascadia_dt::twin::metrics::{ci95_coverage, rel_l2};
@@ -66,4 +67,86 @@ fn quickstart_example_flow_runs_to_completion_on_tiny_config() {
         (0.0..=1.0).contains(&coverage),
         "coverage must be a fraction, got {coverage}"
     );
+}
+
+#[test]
+fn streaming_warning_example_flow_runs_to_completion_on_tiny_config() {
+    let config = TwinConfig::tiny();
+
+    // Bank + twin + window ladder, exactly as the example builds them
+    // (same family seed; a smaller bank keeps the smoke test quick).
+    let n_sessions = 4;
+    let specs = ScenarioBank::family(&config, n_sessions, 7);
+    let solver = config.build_solver();
+    let bank = ScenarioBank::generate(&config, &solver, &specs);
+    drop(solver);
+    let twin = DigitalTwin::offline(config, bank.noise_std());
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let ladder: Vec<usize> = [1, 2, 4, 8, nt]
+        .iter()
+        .cloned()
+        .filter(|&w| w <= nt)
+        .collect();
+    let forecaster = twin.windowed(&ladder);
+
+    let stream_cfg = StreamConfig {
+        chunk: 4,
+        warn_threshold: 1.0,
+        infer: true,
+    };
+    let mut engine = StreamEngine::new(&twin, &forecaster, stream_cfg).with_bank(&bank);
+    let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
+
+    // Interleaved replay: one observation step per session per round.
+    let feeds: Vec<Vec<f64>> = (0..bank.len())
+        .map(|j| bank.observations().col(j))
+        .collect();
+    for t in 0..nt {
+        for (d, &id) in feeds.iter().zip(&ids) {
+            let accepted = engine.push(id, &d[t * nd..(t + 1) * nd]);
+            assert_eq!(accepted, nd);
+        }
+        let tm = engine.tick();
+        assert!(tm.seconds >= 0.0 && tm.seconds.is_finite());
+    }
+
+    // Every session must have completed the ladder with a finite forecast
+    // and a sane identification ranking.
+    for (j, &id) in ids.iter().enumerate() {
+        let s = engine.session(id);
+        assert!(s.is_complete(), "session {j} did not finish the horizon");
+        assert_eq!(s.window(), Some(forecaster.windows.len() - 1));
+        let fc = s.forecast.as_ref().expect("session never assimilated");
+        assert!(fc.q_map.iter().all(|v| v.is_finite()));
+        assert!(fc.q_std.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(s.m_norm.expect("inference enabled").is_finite());
+        let ranked = engine.ranked_matches(id);
+        assert_eq!(ranked.len(), bank.len());
+        let z: f64 = ranked.iter().map(|m| m.probability).sum();
+        assert!((z - 1.0).abs() < 1e-9, "probabilities must normalize");
+    }
+
+    // The replayed streams are the bank's own scenarios: identification
+    // must lock onto the right one for most sessions (loose on purpose —
+    // smoke, not an accuracy benchmark).
+    let correct = ids
+        .iter()
+        .enumerate()
+        .filter(|(j, &id)| engine.ranked_matches(id)[0].scenario == *j)
+        .count();
+    assert!(
+        correct * 2 >= bank.len(),
+        "identification collapsed: {correct}/{}",
+        bank.len()
+    );
+
+    // Engine accounting: every session crossed every rung once, in
+    // bounded panels.
+    let em = engine.metrics();
+    assert_eq!(em.ticks, nt);
+    assert_eq!(em.assimilations, bank.len() * forecaster.windows.len());
+    assert_eq!(em.samples_ingested, bank.len() * twin.n_data());
+    let bound = twin.n_data().max(twin.n_params()) * stream_cfg.chunk;
+    assert!(em.peak_panel_elems <= bound);
 }
