@@ -64,7 +64,8 @@ pub struct BankScenario {
 
 /// A bank of rupture scenarios with their stacked observation streams.
 pub struct ScenarioBank {
-    /// The realized scenarios.
+    /// The realized scenarios. Empty for [`ScenarioBank::synthetic`]
+    /// banks, which carry observation blocks only.
     pub scenarios: Vec<BankScenario>,
     /// Stacked noisy observations, `(Nd·Nt) × B` (scenario per column).
     d_obs: DMatrix,
@@ -152,14 +153,42 @@ impl ScenarioBank {
         }
     }
 
-    /// Number of scenarios `B`.
+    /// A bank from prefabricated observation blocks, with no realized
+    /// rupture scenarios behind them (`d_obs`/`d_clean` are `(Nd·Nt) × B`,
+    /// scenario per column). This is how bank-scale consumers — the
+    /// identification benches, stress tests, or an operator importing
+    /// precomputed curves — get to 10³+ scenarios without paying `B` PDE
+    /// forward solves. Everything except the rupture-aware accessors
+    /// ([`Self::forecast_errors`] and the `scenarios` list) works as
+    /// usual.
+    pub fn synthetic(d_obs: DMatrix, d_clean: DMatrix, noise_std: f64) -> Self {
+        assert_eq!(d_obs.nrows(), d_clean.nrows(), "synthetic: row mismatch");
+        assert_eq!(d_obs.ncols(), d_clean.ncols(), "synthetic: col mismatch");
+        assert!(
+            d_clean.ncols() > 0,
+            "scenario bank needs at least one column"
+        );
+        assert!(
+            noise_std > 0.0 && noise_std.is_finite(),
+            "synthetic: noise level must be positive"
+        );
+        ScenarioBank {
+            scenarios: Vec::new(),
+            d_obs,
+            d_clean,
+            noise_std,
+        }
+    }
+
+    /// Number of scenarios `B` (columns of the observation blocks; for
+    /// generated banks this equals the number of realized scenarios).
     pub fn len(&self) -> usize {
-        self.scenarios.len()
+        self.d_clean.ncols()
     }
 
     /// True if the bank holds no scenarios.
     pub fn is_empty(&self) -> bool {
-        self.scenarios.is_empty()
+        self.len() == 0
     }
 
     /// The stacked observation block, `(Nd·Nt) × B`.
@@ -192,9 +221,15 @@ impl ScenarioBank {
     }
 
     /// Per-scenario relative L2 forecast errors against each scenario's
-    /// true QoI trace.
+    /// true QoI trace. Requires realized scenarios (not available on
+    /// [`Self::synthetic`] banks, which have no ground truth).
     pub fn forecast_errors(&self, forecast: &ForecastBatch) -> Vec<f64> {
         assert_eq!(forecast.batch_size(), self.len(), "bank/forecast size");
+        assert_eq!(
+            self.scenarios.len(),
+            self.len(),
+            "forecast_errors needs realized scenarios (synthetic bank?)"
+        );
         self.scenarios
             .iter()
             .enumerate()

@@ -119,7 +119,11 @@ pub fn infer(p1: &Phase1, p2: &Phase2, d: &[f64]) -> Inference {
 /// Infer posterior means for a block of observation streams
 /// (`d` is `(Nd·Nt) × B`, one scenario per column) in one batched pass:
 /// a single panel-blocked `K⁻¹` solve followed by one batched FFT
-/// `Gᵀ` application, instead of `B` independent dispatches.
+/// `Gᵀ` application, instead of `B` independent dispatches. Both kernels
+/// run RHS-major inside: each panel of columns crosses into the
+/// transposed [`tsunami_linalg::RhsPanel`] layout once at the panel
+/// boundary (unit-stride sweeps and spectra assembly), not once per
+/// column.
 pub fn infer_batch(p1: &Phase1, p2: &Phase2, d: &DMatrix) -> InferenceBatch {
     assert_eq!(d.nrows(), p1.fast_f.nrows(), "infer_batch: data rows");
     let t0 = Instant::now();

@@ -129,7 +129,9 @@ pub fn infer_window(p1: &Phase1, p2: &Phase2, d_window: &[f64], k_steps: usize) 
 /// Batched windowed inference: exact posterior means for a block of
 /// observation streams all truncated to the same `k_steps` window
 /// (`d_window` is `k_steps·Nd × B`, one stream per column). One
-/// panel-blocked leading solve walks the truncated factor once per panel,
+/// panel-blocked RHS-major leading solve walks the truncated factor once
+/// per panel (each panel transposed across the
+/// [`tsunami_linalg::RhsPanel`] layout boundary once, not per column),
 /// and one batched FFT `Gᵀ` pass maps the zero-padded block back to
 /// parameter space — instead of one factor traversal and one FFT dispatch
 /// per stream.

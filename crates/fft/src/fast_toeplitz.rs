@@ -26,7 +26,7 @@
 use crate::plan::FftPlan;
 use crate::toeplitz::BlockToeplitz;
 use rayon::prelude::*;
-use tsunami_linalg::{DMatrix, C64};
+use tsunami_linalg::{DMatrix, RhsPanel, C64};
 
 /// Panel width for the batched multi-RHS kernels: columns transformed per
 /// traversal of the circulant symbols. Sized so a frequency's
@@ -265,7 +265,7 @@ impl FftBlockToeplitz {
         let threads = rayon::current_num_threads().max(1);
         let width = PANEL.min(k.div_ceil(threads)).max(1);
         let bounds: Vec<usize> = (0..k).step_by(width).collect();
-        let panels: Vec<Vec<f64>> = bounds
+        let panels: Vec<RhsPanel> = bounds
             .par_iter()
             .map(|&j0| {
                 let b = width.min(k - j0);
@@ -277,33 +277,36 @@ impl FftBlockToeplitz {
             })
             .collect();
         for (&j0, panel) in bounds.iter().zip(&panels) {
-            debug_assert_eq!(panel.len() / out_rows, width.min(k - j0));
-            for (jj, col) in panel.chunks_exact(out_rows).enumerate() {
-                y.set_col(j0 + jj, col);
-            }
+            debug_assert_eq!(panel.nrhs(), width.min(k - j0));
+            panel.scatter_cols(&mut y, j0);
         }
         y
     }
 
     /// Batched serial kernel for one panel of `b` columns of `Y = T X`
-    /// (columns `j0..j0+b` of `x`). Returns the panel column-major
-    /// (`panel[j*nrows + i]`).
+    /// (columns `j0..j0+b` of `x`). The input panel crosses into the
+    /// RHS-major layout once ([`RhsPanel::gather_cols`]), so each column's
+    /// time series is assembled from one contiguous row instead of a
+    /// stride-`k` walk down the stacked block; the result comes back as an
+    /// RHS-major panel for the caller to scatter.
     ///
     /// Spectra of the panel are stored frequency-major
     /// (`xhat[(f·in_dim + s)·b + j]`), so the frequency stage reads one
     /// contiguous `in_dim × b` complex panel per frequency and each symbol
     /// entry `T̂(f)[r,c]` is loaded once and fused-multiply-added across
     /// all `b` stacked spectra.
-    fn matmat_panel_serial(&self, x: &DMatrix, j0: usize, b: usize) -> Vec<f64> {
+    fn matmat_panel_serial(&self, x: &DMatrix, j0: usize, b: usize) -> RhsPanel {
         let (od, id, len, nt) = (self.out_dim, self.in_dim, self.len, self.nt);
+        let xp = RhsPanel::gather_cols(x, j0, j0 + b);
         // Forward stage: b·in_dim FFTs, scattered frequency-major.
         let mut xhat = vec![C64::ZERO; len * id * b];
         let mut buf = vec![C64::ZERO; len];
-        for s in 0..id {
-            for j in 0..b {
+        for j in 0..b {
+            let xcol = xp.row(j);
+            for s in 0..id {
                 buf.fill(C64::ZERO);
                 for t in 0..nt {
-                    buf[t] = C64::real(x[(t * id + s, j0 + j)]);
+                    buf[t] = C64::real(xcol[t * id + s]);
                 }
                 self.plan.forward(&mut buf);
                 for (f, &v) in buf.iter().enumerate() {
@@ -328,15 +331,17 @@ impl FftBlockToeplitz {
                 }
             }
         }
-        // Inverse stage: b·out_dim inverse FFTs, keep the first nt samples.
-        let mut out = vec![0.0; self.nrows() * b];
-        for r in 0..od {
-            for j in 0..b {
+        // Inverse stage: b·out_dim inverse FFTs, keep the first nt
+        // samples, written straight into the RHS-major output panel (one
+        // contiguous row per column).
+        let mut out = RhsPanel::zeros(b, self.nrows());
+        for j in 0..b {
+            let col = out.row_mut(j);
+            for r in 0..od {
                 for (f, v) in buf.iter_mut().enumerate() {
                     *v = yhat[(f * od + r) * b + j];
                 }
                 self.plan.inverse(&mut buf);
-                let col = &mut out[j * self.nrows()..(j + 1) * self.nrows()];
                 for t in 0..nt {
                     col[t * od + r] = buf[t].re;
                 }
@@ -347,17 +352,20 @@ impl FftBlockToeplitz {
 
     /// Batched serial kernel for one panel of `Z = Tᵀ W` (columns
     /// `j0..j0+b` of `w`), via the time-reversal identity
-    /// `Tᵀ = R · Toep(T_kᵀ) · R`. Returns the panel column-major.
-    fn matmat_transpose_panel_serial(&self, w: &DMatrix, j0: usize, b: usize) -> Vec<f64> {
+    /// `Tᵀ = R · Toep(T_kᵀ) · R`. Gathers and returns RHS-major panels
+    /// like [`Self::matmat_panel_serial`].
+    fn matmat_transpose_panel_serial(&self, w: &DMatrix, j0: usize, b: usize) -> RhsPanel {
         let (od, id, len, nt) = (self.out_dim, self.in_dim, self.len, self.nt);
+        let wp = RhsPanel::gather_cols(w, j0, j0 + b);
         // Forward stage on the time-reversed inputs.
         let mut vhat = vec![C64::ZERO; len * od * b];
         let mut buf = vec![C64::ZERO; len];
-        for r in 0..od {
-            for j in 0..b {
+        for j in 0..b {
+            let wcol = wp.row(j);
+            for r in 0..od {
                 buf.fill(C64::ZERO);
                 for t in 0..nt {
-                    buf[nt - 1 - t] = C64::real(w[(t * od + r, j0 + j)]);
+                    buf[nt - 1 - t] = C64::real(wcol[t * od + r]);
                 }
                 self.plan.forward(&mut buf);
                 for (f, &v) in buf.iter().enumerate() {
@@ -382,15 +390,16 @@ impl FftBlockToeplitz {
                 }
             }
         }
-        // Inverse stage, reading the tail time-reversed.
-        let mut out = vec![0.0; self.ncols() * b];
-        for c in 0..id {
-            for j in 0..b {
+        // Inverse stage, reading the tail time-reversed, written straight
+        // into the RHS-major output panel.
+        let mut out = RhsPanel::zeros(b, self.ncols());
+        for j in 0..b {
+            let col = out.row_mut(j);
+            for c in 0..id {
                 for (f, v) in buf.iter_mut().enumerate() {
                     *v = uhat[(f * id + c) * b + j];
                 }
                 self.plan.inverse(&mut buf);
-                let col = &mut out[j * self.ncols()..(j + 1) * self.ncols()];
                 for t in 0..nt {
                     col[t * id + c] = buf[nt - 1 - t].re;
                 }

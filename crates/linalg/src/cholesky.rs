@@ -6,8 +6,17 @@
 //! factorization whose trailing-matrix update (the GEMM-rich part that
 //! dominates flops) is parallelized with rayon, plus forward/backward
 //! substitution with multiple right-hand sides.
+//!
+//! Multi-RHS solves run **RHS-major**: each panel of right-hand sides is
+//! transposed once into an [`RhsPanel`] (one RHS per contiguous row), the
+//! forward sweep is a unit-stride dot of factor-row against RHS-row
+//! prefixes, and the backward sweep is column-oriented so it streams
+//! factor *rows* instead of walking stride-`n` factor columns. A batch of
+//! one falls back to the scalar sweeps, bit-identically.
 
 use crate::matrix::DMatrix;
+use crate::rhs_panel::RhsPanel;
+use crate::vec_ops;
 use rayon::prelude::*;
 
 /// Block size for the panel factorization. The trailing update works on
@@ -15,16 +24,19 @@ use rayon::prelude::*;
 const NB: usize = 64;
 
 /// Panel width for the multi-RHS triangular solves: right-hand sides
-/// handled per traversal of the factor. Wide enough to amortize the
-/// factor loads (the backward sweep's column-strided reads especially),
-/// narrow enough that a `Nd·Nt`-sized panel row stays cache-resident and
-/// that typical batches still split into several parallel panels.
-const SOLVE_PANEL: usize = 32;
+/// (RHS-major panel *rows*) handled per traversal of the factor. Wide
+/// enough that a serial batch of 64 streams walks the factor once (the
+/// factor stream dominates once it outgrows L2), narrow enough that a
+/// panel of `Nd·Nt`-long rows stays L2-resident; multi-thread runs still
+/// split panels down to `nrhs / threads`.
+const SOLVE_PANEL: usize = 64;
 
 /// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
 pub struct Cholesky {
-    /// `n × n` matrix whose lower triangle holds `L` (upper triangle is
-    /// whatever the input held; never read).
+    /// `n × n` matrix whose lower triangle holds `L` and whose strict
+    /// upper triangle holds the mirror `Lᵀ` (filled once at factor time),
+    /// so backward sweeps read contiguous rows — `l[(i, j)] = L[j][i]` for
+    /// `j > i` — instead of walking stride-`n` columns.
     l: DMatrix,
 }
 
@@ -150,6 +162,15 @@ impl Cholesky {
                     });
             }
         }
+        // Mirror the factor into the strict upper triangle (l[(i, j)] =
+        // L[j][i] for j > i): an O(n²) one-time cost that lets every
+        // backward sweep — scalar and panel alike — stream contiguous
+        // factor rows instead of stride-n columns.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[(i, j)] = l[(j, i)];
+            }
+        }
         Ok(Cholesky { l })
     }
 
@@ -158,7 +179,8 @@ impl Cholesky {
         self.l.nrows()
     }
 
-    /// Borrow the factor (lower triangle valid).
+    /// Borrow the factor (lower triangle holds `L`, strict upper triangle
+    /// its mirror `Lᵀ`).
     pub fn factor_matrix(&self) -> &DMatrix {
         &self.l
     }
@@ -176,13 +198,16 @@ impl Cholesky {
             }
             b[i] = s / row[i];
         }
-        // Backward: Lᵀ x = y
+        // Backward: Lᵀ x = y. Reads L[j][i] from the mirrored upper
+        // triangle — same values, same subtraction order as the column
+        // walk (bit-identical), but unit-stride.
         for i in (0..n).rev() {
+            let row = self.l.row(i);
             let mut s = b[i];
             for j in (i + 1)..n {
-                s -= self.l[(j, i)] * b[j];
+                s -= row[j] * b[j];
             }
-            b[i] = s / self.l[(i, i)];
+            b[i] = s / row[i];
         }
     }
 
@@ -196,37 +221,111 @@ impl Cholesky {
     /// Solve `A X = B` for a multi-RHS block. `B` is `n × nrhs`; returns
     /// `X` of the same shape.
     ///
-    /// Columns are processed in panels of `SOLVE_PANEL` right-hand sides:
-    /// within a panel one forward/backward sweep walks the factor *once*
-    /// and applies each `L_ij` to the whole panel row, so factor loads are
-    /// amortized across the batch instead of being re-paid per RHS. Panels
-    /// run in parallel.
+    /// Columns are processed in RHS-major panels of up to `SOLVE_PANEL`
+    /// right-hand sides: each panel is transposed **once** into an
+    /// [`RhsPanel`] (one RHS per contiguous row), swept forward and
+    /// backward with unit-stride microkernels that walk the factor once
+    /// per panel, and transposed back. Panels run in parallel. `nrhs = 1`
+    /// dispatches to the scalar [`Self::solve_in_place`] path, so B=1
+    /// wrappers stay bit-identical to the single-RHS solve.
     pub fn solve_multi(&self, b: &DMatrix) -> DMatrix {
         assert_eq!(b.nrows(), self.dim(), "solve_multi: rhs rows");
         self.solve_leading_multi(self.dim(), b)
     }
 
-    /// Solve `A X = B` in place on a row-major multi-RHS block: one
-    /// forward sweep (`L Y = B`) and one backward sweep (`Lᵀ X = Y`), each
-    /// walking the factor once for all columns.
+    /// Solve `A X = B` in place on an `n × nrhs` block: the whole block
+    /// crosses into the RHS-major layout once, is swept forward
+    /// (`L Y = B`) and backward (`Lᵀ X = Y`), and crosses back.
     pub fn solve_multi_in_place(&self, b: &mut DMatrix) {
-        self.solve_lower_multi_in_place(b);
-        self.solve_upper_multi_in_place(b);
+        assert_eq!(b.nrows(), self.dim(), "solve_multi_in_place: rhs rows");
+        self.solve_leading_multi_in_place(self.dim(), b);
     }
 
-    /// Forward substitution `L Y = B` in place for a multi-RHS block
-    /// (`B` is `n × nrhs`, row-major, so each factor entry streams across
-    /// a contiguous panel row). The multi-RHS analogue of
-    /// [`Self::solve_lower_in_place`].
+    /// Forward substitution `L Y = B` in place for an `n × nrhs` block.
+    /// The multi-RHS analogue of [`Self::solve_lower_in_place`]: the block
+    /// is transposed once into an [`RhsPanel`] and swept RHS-major.
+    /// `nrhs = 1` stays on the scalar path (bit-identical).
     pub fn solve_lower_multi_in_place(&self, b: &mut DMatrix) {
         let n = self.dim();
         assert_eq!(b.nrows(), n, "solve_lower_multi: rhs rows");
-        self.solve_lower_multi_leading(n, b);
+        if b.ncols() == 1 {
+            self.solve_lower_in_place(b.as_mut_slice());
+            return;
+        }
+        let mut p = RhsPanel::from_matrix(b);
+        self.forward_leading_rhs_major(n, &mut p);
+        p.scatter_cols(b, 0);
     }
 
-    /// Forward sweep restricted to the leading `k × k` block of the factor
-    /// (`b` is `k × nrhs`).
-    fn solve_lower_multi_leading(&self, k: usize, b: &mut DMatrix) {
+    /// Solve `A X = B` in place on an RHS-major panel (one RHS per
+    /// contiguous row): one forward and one backward sweep, each walking
+    /// the factor once for the whole panel.
+    pub fn solve_panel_in_place(&self, p: &mut RhsPanel) {
+        self.solve_leading_panel_in_place(self.dim(), p);
+    }
+
+    /// Forward substitution `L Y = B` in place on an RHS-major panel.
+    pub fn solve_lower_panel_in_place(&self, p: &mut RhsPanel) {
+        assert_eq!(p.dim(), self.dim(), "solve_lower_panel: rhs dim");
+        self.forward_leading_rhs_major(self.dim(), p);
+    }
+
+    /// Solve `A[..k, ..k] X = B` in place on an RHS-major panel whose rows
+    /// have length `k` — the panel-native form of
+    /// [`Self::solve_leading_multi_in_place`].
+    pub fn solve_leading_panel_in_place(&self, k: usize, p: &mut RhsPanel) {
+        assert!(k <= self.dim(), "leading block exceeds dimension");
+        assert_eq!(p.dim(), k, "solve_leading_panel: rhs dim");
+        self.forward_leading_rhs_major(k, p);
+        self.backward_leading_rhs_major(k, p);
+    }
+
+    /// RHS-major forward sweep `L[..k,..k] Y = B`: for each pivot row the
+    /// update is a *unit-stride* dot of the factor row prefix against the
+    /// RHS row prefix ([`vec_ops::dot_lanes`]) — both contiguous — with the
+    /// factor row loaded once for all RHS rows. Pivot division (not a
+    /// reciprocal multiply) matches the single-RHS sweep.
+    fn forward_leading_rhs_major(&self, k: usize, p: &mut RhsPanel) {
+        let n = self.l.ncols();
+        let ld = self.l.as_slice();
+        for i in 0..k {
+            let lrow = &ld[i * n..i * n + i];
+            let piv = ld[i * n + i];
+            for row in p.rows_mut() {
+                let s = row[i] - vec_ops::dot_lanes(lrow, &row[..i]);
+                row[i] = s / piv;
+            }
+        }
+    }
+
+    /// RHS-major backward sweep `Lᵀ[..k,..k] X = Y`: row `i` of the
+    /// mirrored upper triangle *is* row `i` of `Lᵀ`, so each update is a
+    /// *unit-stride* dot of two contiguous row suffixes
+    /// ([`vec_ops::dot_lanes`]) — the same shape as the forward sweep,
+    /// with no store traffic. This replaces the column-major sweep's
+    /// stride-`n` walk down column `i` of the factor (the load pattern
+    /// the ROADMAP called out).
+    fn backward_leading_rhs_major(&self, k: usize, p: &mut RhsPanel) {
+        let n = self.l.ncols();
+        let ld = self.l.as_slice();
+        for i in (0..k).rev() {
+            let lrow = &ld[i * n + i + 1..i * n + k];
+            let piv = ld[i * n + i];
+            for row in p.rows_mut() {
+                let s = row[i] - vec_ops::dot_lanes(lrow, &row[i + 1..k]);
+                row[i] = s / piv;
+            }
+        }
+    }
+
+    /// Column-major reference for the leading-block multi-RHS solve: the
+    /// pre-RHS-major sweeps (factor entries applied across `nrhs`-wide
+    /// rows of the untransposed block; backward sweep pays stride-`n`
+    /// factor column loads). Retained for equivalence tests and as the
+    /// bench baseline the RHS-major path is measured against.
+    pub fn solve_leading_multi_colmajor_in_place(&self, k: usize, b: &mut DMatrix) {
+        assert!(k <= self.dim(), "leading block exceeds dimension");
+        assert_eq!(b.nrows(), k, "solve_leading_multi: rhs rows");
         let nrhs = b.ncols();
         let data = b.as_mut_slice();
         for i in 0..k {
@@ -242,30 +341,11 @@ impl Cholesky {
                     *x -= lij * y;
                 }
             }
-            // Divide (don't multiply by a reciprocal): keeps every column
-            // bit-identical to the single-RHS sweep, so B=1 wrappers and
-            // leading-window solves agree to the last ulp.
             let piv = lrow[i];
             for x in bi.iter_mut() {
                 *x /= piv;
             }
         }
-    }
-
-    /// Backward substitution `Lᵀ X = Y` in place for a multi-RHS block.
-    /// The column-strided loads of `L_ji` are paid once per factor entry
-    /// and amortized over the panel width.
-    fn solve_upper_multi_in_place(&self, b: &mut DMatrix) {
-        let n = self.dim();
-        assert_eq!(b.nrows(), n, "solve_upper_multi: rhs rows");
-        self.solve_upper_multi_leading(n, b);
-    }
-
-    /// Backward sweep restricted to the leading `k × k` block of the factor
-    /// (`b` is `k × nrhs`).
-    fn solve_upper_multi_leading(&self, k: usize, b: &mut DMatrix) {
-        let nrhs = b.ncols();
-        let data = b.as_mut_slice();
         for i in (0..k).rev() {
             let (head, tail) = data.split_at_mut((i + 1) * nrhs);
             let bi = &mut head[i * nrhs..];
@@ -343,59 +423,79 @@ impl Cholesky {
             }
             b[i] = s / row[i];
         }
+        // Backward over the mirrored upper triangle (unit-stride,
+        // bit-identical to the former column walk).
         for i in (0..k).rev() {
+            let row = self.l.row(i);
             let mut s = b[i];
             for j in (i + 1)..k {
-                s -= self.l[(j, i)] * b[j];
+                s -= row[j] * b[j];
             }
-            b[i] = s / self.l[(i, i)];
+            b[i] = s / row[i];
         }
     }
 
     /// Solve `A[..k, ..k] X = B` in place for a multi-RHS block restricted
     /// to the leading `k × k` principal block (`b` is `k × nrhs`). The
-    /// multi-RHS analogue of [`Self::solve_leading_in_place`]: one forward
-    /// and one backward sweep each walk the truncated factor *once* for the
-    /// whole panel, so a batch of truncated-window right-hand sides pays a
-    /// single factor traversal instead of one per stream. Pivot division is
-    /// retained, so every column stays bit-identical to the single-RHS
-    /// leading solve.
+    /// multi-RHS analogue of [`Self::solve_leading_in_place`]: the block
+    /// crosses into the RHS-major layout once, one forward and one
+    /// backward RHS-major sweep each walk the truncated factor *once* for
+    /// the whole panel, and the result crosses back — so a batch of
+    /// truncated-window right-hand sides pays a single factor traversal
+    /// (and a single layout transpose) instead of one per stream. Pivot
+    /// division is retained, and `nrhs = 1` dispatches to the scalar
+    /// [`Self::solve_leading_in_place`], so B=1 wrappers stay bit-identical
+    /// to the single-RHS leading solve.
     pub fn solve_leading_multi_in_place(&self, k: usize, b: &mut DMatrix) {
         assert!(k <= self.dim(), "leading block exceeds dimension");
         assert_eq!(b.nrows(), k, "solve_leading_multi: rhs rows");
-        self.solve_lower_multi_leading(k, b);
-        self.solve_upper_multi_leading(k, b);
+        if b.ncols() == 1 {
+            self.solve_leading_in_place(k, b.as_mut_slice());
+            return;
+        }
+        let mut p = RhsPanel::from_matrix(b);
+        self.solve_leading_panel_in_place(k, &mut p);
+        p.scatter_cols(b, 0);
     }
 
     /// Solve `A[..k, ..k] X = B` for a multi-RHS block, returning `X`.
-    /// Columns are processed in panels exactly like [`Self::solve_multi`]
-    /// (narrowed when the thread pool is wider than the batch), each panel
-    /// solved against the leading block by
-    /// [`Self::solve_leading_multi_in_place`]; panels run in parallel.
+    /// Columns are processed in RHS-major panels exactly like
+    /// [`Self::solve_multi`] (narrowed when the thread pool is wider than
+    /// the batch), each panel gathered/scattered across the layout
+    /// boundary once and solved by [`Self::solve_leading_panel_in_place`];
+    /// panels run in parallel. Because every RHS row is swept
+    /// independently, the panel split does not change any column's
+    /// arithmetic — the result is bit-identical to the single-panel
+    /// in-place solve.
     pub fn solve_leading_multi(&self, k: usize, b: &DMatrix) -> DMatrix {
         assert!(k <= self.dim(), "leading block exceeds dimension");
         assert_eq!(b.nrows(), k, "solve_leading_multi: rhs rows");
         let nrhs = b.ncols();
+        if nrhs == 1 {
+            let mut x = b.clone();
+            self.solve_leading_in_place(k, x.as_mut_slice());
+            return x;
+        }
         let threads = rayon::current_num_threads().max(1);
         let panel = SOLVE_PANEL.min(nrhs.div_ceil(threads)).max(1);
         if nrhs <= panel {
-            let mut x = b.clone();
-            self.solve_leading_multi_in_place(k, &mut x);
-            return x;
+            let mut p = RhsPanel::from_matrix(b);
+            self.solve_leading_panel_in_place(k, &mut p);
+            return p.to_matrix();
         }
         let mut x = DMatrix::zeros(k, nrhs);
         let bounds: Vec<usize> = (0..nrhs).step_by(panel).collect();
-        let panels: Vec<DMatrix> = bounds
+        let panels: Vec<RhsPanel> = bounds
             .par_iter()
             .map(|&j0| {
                 let j1 = (j0 + panel).min(nrhs);
-                let mut p = b.col_panel(j0, j1);
-                self.solve_leading_multi_in_place(k, &mut p);
+                let mut p = RhsPanel::gather_cols(b, j0, j1);
+                self.solve_leading_panel_in_place(k, &mut p);
                 p
             })
             .collect();
         for (&j0, p) in bounds.iter().zip(&panels) {
-            x.set_col_panel(j0, p);
+            p.scatter_cols(&mut x, j0);
         }
         x
     }
@@ -541,6 +641,106 @@ mod tests {
                 assert!((x1[(i, j)] - x2[(i, j)]).abs() < 1e-13);
             }
         }
+    }
+
+    #[test]
+    fn b1_multi_paths_bit_identical_to_scalar() {
+        // Every multi-RHS entry point at nrhs = 1 must reproduce the
+        // single-RHS solve to the last ulp (the pivot-division path the
+        // B=1 wrappers and the golden regression pin).
+        let n = 79;
+        let a = spd(n, 41);
+        let ch = Cholesky::factor(&a).unwrap();
+        let bvec: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let b = DMatrix::from_vec(n, 1, bvec.clone());
+
+        let x_scalar = ch.solve(&bvec);
+        let x_multi = ch.solve_multi(&b);
+        let mut x_ip = b.clone();
+        ch.solve_multi_in_place(&mut x_ip);
+        for i in 0..n {
+            assert_eq!(x_multi[(i, 0)], x_scalar[i], "solve_multi row {i}");
+            assert_eq!(x_ip[(i, 0)], x_scalar[i], "in-place row {i}");
+        }
+
+        let mut y = b.clone();
+        ch.solve_lower_multi_in_place(&mut y);
+        let mut y_ref = bvec.clone();
+        ch.solve_lower_in_place(&mut y_ref);
+        for i in 0..n {
+            assert_eq!(y[(i, 0)], y_ref[i], "forward row {i}");
+        }
+
+        let k = 37;
+        let bk = DMatrix::from_vec(k, 1, bvec[..k].to_vec());
+        let xk = ch.solve_leading_multi(k, &bk);
+        let mut xk_ip = bk.clone();
+        ch.solve_leading_multi_in_place(k, &mut xk_ip);
+        let mut xk_ref = bvec[..k].to_vec();
+        ch.solve_leading_in_place(k, &mut xk_ref);
+        for i in 0..k {
+            assert_eq!(xk[(i, 0)], xk_ref[i], "leading row {i}");
+            assert_eq!(xk_ip[(i, 0)], xk_ref[i], "leading in-place row {i}");
+        }
+    }
+
+    #[test]
+    fn rhs_major_matches_colmajor_reference_across_panel_boundaries() {
+        // The RHS-major sweeps against the retained column-major
+        // reference, at widths straddling SOLVE_PANEL (ragged final
+        // panel included) and truncation depths straddling NB. The two
+        // layouts reassociate the update sums, so agreement is to
+        // roundoff, not bitwise.
+        let n = 97;
+        let a = spd(n, 55);
+        let ch = Cholesky::factor(&a).unwrap();
+        for &k in &[1usize, 17, 64, 97] {
+            for &nrhs in &[2usize, 31, 32, 33, 70] {
+                let b = DMatrix::from_fn(k, nrhs, |i, j| ((i * 5 + 3 * j) as f64 * 0.23).sin());
+                let x = ch.solve_leading_multi(k, &b);
+                let mut x_ref = b.clone();
+                ch.solve_leading_multi_colmajor_in_place(k, &mut x_ref);
+                for i in 0..k {
+                    for j in 0..nrhs {
+                        assert!(
+                            (x[(i, j)] - x_ref[(i, j)]).abs() < 1e-11,
+                            "k={k} nrhs={nrhs} ({i},{j}): {} vs {}",
+                            x[(i, j)],
+                            x_ref[(i, j)]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_api_matches_matrix_api_exactly() {
+        // The RHS-major panel entry points and the DMatrix wrappers run
+        // the same sweeps; crossing the layout boundary must not change a
+        // single bit.
+        let n = 53;
+        let a = spd(n, 61);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = DMatrix::from_fn(n, 9, |i, j| ((i + 17 * j) as f64 * 0.19).cos());
+
+        let x = ch.solve_multi(&b);
+        let mut p = crate::RhsPanel::from_matrix(&b);
+        ch.solve_panel_in_place(&mut p);
+        assert_eq!(p.to_matrix(), x);
+
+        let mut y = b.clone();
+        ch.solve_lower_multi_in_place(&mut y);
+        let mut pf = crate::RhsPanel::from_matrix(&b);
+        ch.solve_lower_panel_in_place(&mut pf);
+        assert_eq!(pf.to_matrix(), y);
+
+        let k = 31;
+        let bk = DMatrix::from_fn(k, 9, |i, j| ((i + 3 * j) as f64 * 0.29).sin());
+        let xk = ch.solve_leading_multi(k, &bk);
+        let mut pk = crate::RhsPanel::from_matrix(&bk);
+        ch.solve_leading_panel_in_place(k, &mut pk);
+        assert_eq!(pk.to_matrix(), xk);
     }
 
     #[test]

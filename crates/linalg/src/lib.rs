@@ -7,8 +7,10 @@
 //!
 //! - [`DMatrix`]: row-major dense matrices with blocked, rayon-parallel
 //!   multiplication kernels,
+//! - [`RhsPanel`]: the transposed (RHS-major) multi-RHS panel layout that
+//!   the batched triangular solves and FFT kernels stream unit-stride,
 //! - [`Cholesky`]: blocked right-looking Cholesky factorization with
-//!   multi-RHS triangular solves,
+//!   RHS-major multi-RHS triangular solves,
 //! - [`C64`]: complex double arithmetic used by the FFT crate,
 //! - [`LinearOperator`]: the matrix-free operator abstraction shared by the
 //!   PDE solver, the Toeplitz machinery, and the Bayesian solvers,
@@ -28,6 +30,7 @@ pub mod eigen;
 pub mod matrix;
 pub mod operator;
 pub mod random;
+pub mod rhs_panel;
 pub mod vec_ops;
 
 pub use cg::{cg_solve, CgOptions, CgResult};
@@ -36,3 +39,4 @@ pub use complex::C64;
 pub use eigen::{effective_rank, symmetric_eigenvalues};
 pub use matrix::DMatrix;
 pub use operator::{DenseOperator, DiagonalOperator, IdentityOperator, LinearOperator};
+pub use rhs_panel::RhsPanel;

@@ -128,30 +128,6 @@ impl DMatrix {
         }
     }
 
-    /// Copy out the column panel `[j0, j1)` as a `rows × (j1−j0)` matrix.
-    /// The batched solvers and FFT kernels process RHS blocks panel-wise;
-    /// this is the gather side of that decomposition.
-    pub fn col_panel(&self, j0: usize, j1: usize) -> DMatrix {
-        assert!(j0 <= j1 && j1 <= self.cols, "col_panel: bad range");
-        let b = j1 - j0;
-        let mut p = DMatrix::zeros(self.rows, b);
-        for i in 0..self.rows {
-            p.row_mut(i).copy_from_slice(&self.row(i)[j0..j1]);
-        }
-        p
-    }
-
-    /// Overwrite columns `[j0, j0 + panel.ncols())` with `panel` — the
-    /// scatter side of panel-wise processing.
-    pub fn set_col_panel(&mut self, j0: usize, panel: &DMatrix) {
-        assert_eq!(panel.nrows(), self.rows, "set_col_panel: row mismatch");
-        let j1 = j0 + panel.ncols();
-        assert!(j1 <= self.cols, "set_col_panel: panel overflows");
-        for i in 0..self.rows {
-            self.row_mut(i)[j0..j1].copy_from_slice(panel.row(i));
-        }
-    }
-
     /// Transposed copy.
     pub fn transpose(&self) -> DMatrix {
         let mut t = DMatrix::zeros(self.cols, self.rows);
@@ -443,27 +419,6 @@ mod tests {
         a.transpose().matvec(&x, &mut y2);
         for (u, v) in y1.iter().zip(&y2) {
             assert!((u - v).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn col_panel_roundtrips() {
-        let a = rand_mat(9, 13, 12);
-        let p = a.col_panel(4, 11);
-        assert_eq!(p.nrows(), 9);
-        assert_eq!(p.ncols(), 7);
-        for i in 0..9 {
-            for j in 0..7 {
-                assert_eq!(p[(i, j)], a[(i, 4 + j)]);
-            }
-        }
-        let mut b = DMatrix::zeros(9, 13);
-        b.set_col_panel(4, &p);
-        for i in 0..9 {
-            for j in 0..13 {
-                let want = if (4..11).contains(&j) { a[(i, j)] } else { 0.0 };
-                assert_eq!(b[(i, j)], want);
-            }
         }
     }
 

@@ -29,6 +29,137 @@ pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
         .sum()
 }
 
+/// Dot product with sixteen independent accumulator lanes.
+///
+/// Reassociates the sum (unlike the strictly sequential [`dot`]), which
+/// lets the compiler vectorize the reduction — and sixteen lanes give it
+/// four vector accumulators, enough independent chains to hide FMA
+/// latency instead of serializing on one. Results agree with [`dot`] to
+/// roundoff reshuffling only. This is the sweep microkernel of the
+/// RHS-major triangular solves: both operands are contiguous rows.
+#[inline]
+pub fn dot_lanes(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_lanes: length mismatch");
+    const LANES: usize = 16;
+    let split = x.len() & !(LANES - 1);
+    let mut acc = [0.0f64; LANES];
+    for (cx, cy) in x[..split]
+        .chunks_exact(LANES)
+        .zip(y[..split].chunks_exact(LANES))
+    {
+        for t in 0..LANES {
+            acc[t] += cx[t] * cy[t];
+        }
+    }
+    let mut tail = 0.0;
+    for (a, b) in x[split..].iter().zip(&y[split..]) {
+        tail += a * b;
+    }
+    let mut width = LANES / 2;
+    while width > 0 {
+        for t in 0..width {
+            acc[t] += acc[t + width];
+        }
+        width /= 2;
+    }
+    acc[0] + tail
+}
+
+/// Rank-R panel update `acc ← acc + alpha · Σ_r coeffs[r] · rows[r]`, where
+/// `rows` is a contiguous row-major `R × width` block.
+///
+/// This is the GEMM microkernel of the RHS-major spine: rows are processed
+/// eight (then four) at a time so each load/update/store pass over the
+/// `width`-long accumulator is amortized over many fused multiply-adds,
+/// instead of the one pass per row that a plain [`axpy`] loop pays. All
+/// loads are unit-stride.
+pub fn block_axpy(alpha: f64, coeffs: &[f64], rows: &[f64], width: usize, acc: &mut [f64]) {
+    assert_eq!(
+        rows.len(),
+        coeffs.len() * width,
+        "block_axpy: block shape mismatch"
+    );
+    assert_eq!(acc.len(), width, "block_axpy: accumulator width");
+    let mut r = 0;
+    while r + 8 <= coeffs.len() {
+        let a: [f64; 8] = std::array::from_fn(|t| alpha * coeffs[r + t]);
+        let block = &rows[r * width..(r + 8) * width];
+        let (b0, rest) = block.split_at(width);
+        let (b1, rest) = rest.split_at(width);
+        let (b2, rest) = rest.split_at(width);
+        let (b3, rest) = rest.split_at(width);
+        let (b4, rest) = rest.split_at(width);
+        let (b5, rest) = rest.split_at(width);
+        let (b6, b7) = rest.split_at(width);
+        for (j, av) in acc.iter_mut().enumerate() {
+            let lo = a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+            let hi = a[4] * b4[j] + a[5] * b5[j] + a[6] * b6[j] + a[7] * b7[j];
+            *av += lo + hi;
+        }
+        r += 8;
+    }
+    if r + 4 <= coeffs.len() {
+        let a: [f64; 4] = std::array::from_fn(|t| alpha * coeffs[r + t]);
+        let block = &rows[r * width..(r + 4) * width];
+        let (b0, rest) = block.split_at(width);
+        let (b1, rest) = rest.split_at(width);
+        let (b2, b3) = rest.split_at(width);
+        for (j, av) in acc.iter_mut().enumerate() {
+            *av += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+        }
+        r += 4;
+    }
+    for rr in r..coeffs.len() {
+        axpy(alpha * coeffs[rr], &rows[rr * width..(rr + 1) * width], acc);
+    }
+}
+
+/// Two-accumulator rank-R panel update: like [`block_axpy`], but each row
+/// block loaded from `rows` feeds *two* accumulators
+/// (`acc0 += alpha·Σ coeffs0[r]·rows[r]`, `acc1 += alpha·Σ coeffs1[r]·rows[r]`).
+/// Streaming a shared block into multiple accumulators halves the
+/// dominant load traffic per accumulator — the register-blocking axis the
+/// grouped scenario-identification GEMM runs over lockstep streams.
+pub fn block_axpy2(
+    alpha: f64,
+    coeffs0: &[f64],
+    coeffs1: &[f64],
+    rows: &[f64],
+    width: usize,
+    acc0: &mut [f64],
+    acc1: &mut [f64],
+) {
+    assert_eq!(coeffs0.len(), coeffs1.len(), "block_axpy2: coeff lengths");
+    assert_eq!(
+        rows.len(),
+        coeffs0.len() * width,
+        "block_axpy2: block shape mismatch"
+    );
+    assert_eq!(acc0.len(), width, "block_axpy2: accumulator width");
+    assert_eq!(acc1.len(), width, "block_axpy2: accumulator width");
+    let r4 = coeffs0.len() & !3;
+    let mut r = 0;
+    while r < r4 {
+        let a: [f64; 4] = std::array::from_fn(|t| alpha * coeffs0[r + t]);
+        let c: [f64; 4] = std::array::from_fn(|t| alpha * coeffs1[r + t]);
+        let block = &rows[r * width..(r + 4) * width];
+        let (b0, rest) = block.split_at(width);
+        let (b1, rest) = rest.split_at(width);
+        let (b2, b3) = rest.split_at(width);
+        for j in 0..width {
+            let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+            acc0[j] += (a[0] * v0 + a[1] * v1) + (a[2] * v2 + a[3] * v3);
+            acc1[j] += (c[0] * v0 + c[1] * v1) + (c[2] * v2 + c[3] * v3);
+        }
+        r += 4;
+    }
+    if r4 < coeffs0.len() {
+        let tail = &rows[r4 * width..];
+        block_axpy(alpha, &coeffs0[r4..], tail, width, acc0);
+        block_axpy(alpha, &coeffs1[r4..], tail, width, acc1);
+    }
+}
+
 /// `y ← y + alpha x`.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
@@ -132,6 +263,64 @@ mod tests {
         let s = dot(&x, &y);
         let p = par_dot(&x, &y);
         assert!((s - p).abs() <= 1e-9 * s.abs().max(1.0), "{s} vs {p}");
+    }
+
+    #[test]
+    fn dot_lanes_matches_dot_across_remainders() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 17, 100] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+            let a = dot(&x, &y);
+            let b = dot_lanes(&x, &y);
+            assert!(
+                (a - b).abs() <= 1e-13 * a.abs().max(1.0),
+                "n={n}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_axpy_matches_row_axpys() {
+        // Row counts straddling the 4-row unroll, including the remainder.
+        for rows in [0usize, 1, 3, 4, 5, 8, 11] {
+            let width = 13;
+            let coeffs: Vec<f64> = (0..rows).map(|r| (r as f64 * 1.3).sin()).collect();
+            let block: Vec<f64> = (0..rows * width).map(|i| (i as f64 * 0.17).cos()).collect();
+            let mut acc1: Vec<f64> = (0..width).map(|j| j as f64 * 0.1).collect();
+            let mut acc2 = acc1.clone();
+            block_axpy(-2.0, &coeffs, &block, width, &mut acc1);
+            for r in 0..rows {
+                axpy(
+                    -2.0 * coeffs[r],
+                    &block[r * width..(r + 1) * width],
+                    &mut acc2,
+                );
+            }
+            for (a, b) in acc1.iter().zip(&acc2) {
+                assert!((a - b).abs() < 1e-12, "rows={rows}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_axpy2_matches_two_block_axpys() {
+        for rows in [0usize, 1, 3, 4, 5, 7, 8, 9, 16, 19] {
+            let width = 11;
+            let c0: Vec<f64> = (0..rows).map(|r| (r as f64 * 0.9).sin()).collect();
+            let c1: Vec<f64> = (0..rows).map(|r| (r as f64 * 1.7).cos()).collect();
+            let block: Vec<f64> = (0..rows * width).map(|i| (i as f64 * 0.23).sin()).collect();
+            let mut a0 = vec![0.5; width];
+            let mut a1 = vec![-0.5; width];
+            let mut r0 = a0.clone();
+            let mut r1 = a1.clone();
+            block_axpy2(-2.0, &c0, &c1, &block, width, &mut a0, &mut a1);
+            block_axpy(-2.0, &c0, &block, width, &mut r0);
+            block_axpy(-2.0, &c1, &block, width, &mut r1);
+            for ((x, y), (u, v)) in a0.iter().zip(&r0).zip(a1.iter().zip(&r1)) {
+                assert!((x - y).abs() < 1e-12, "rows={rows} acc0: {x} vs {y}");
+                assert!((u - v).abs() < 1e-12, "rows={rows} acc1: {u} vs {v}");
+            }
+        }
     }
 
     #[test]

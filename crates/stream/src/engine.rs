@@ -6,10 +6,11 @@
 //! bursts), and the operator drives [`StreamEngine::tick`] on its service
 //! cadence. A tick does three things:
 //!
-//! 1. **Sequential identification** — every newly arrived sample updates
-//!    each session's per-scenario squared misfit against the bank's clean
-//!    observation curves (one contiguous row per (sensor, time) slot), the
-//!    sequential Bayesian update of Nomura et al. (arXiv:2407.03631).
+//! 1. **Sequential identification** — each session's newly arrived rows
+//!    update its per-scenario squared misfit against the bank's clean
+//!    observation curves in one blocked `rows × scenarios` GEMM
+//!    ([`crate::identify::score_samples_gemm`]), the sequential Bayesian
+//!    update of Nomura et al. (arXiv:2407.03631) at bank-scale cost.
 //! 2. **Micro-batched assimilation** — sessions whose complete-step count
 //!    crossed a new rung of the window ladder are grouped *by rung* and
 //!    driven through one batched window inference + forecast per group
@@ -26,6 +27,7 @@
 //! independent of the number of live sessions — chunked assimilation for
 //! `B ≫ 10³`.
 
+use crate::identify;
 use crate::session::{StreamSession, WarningLevel};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -107,6 +109,11 @@ pub struct EngineMetrics {
     /// Largest dense block ever materialized (elements) — the bounded-
     /// working-set guarantee, checked against `(Nd·Nt)·chunk`.
     pub peak_panel_elems: usize,
+    /// Fresh sample rings allocated over the engine's lifetime. Stays flat
+    /// under open→close→open churn (closed sessions return their ring to a
+    /// freelist and [`StreamEngine::open`] reuses it), so indefinite
+    /// service does not grow memory per event.
+    pub rings_allocated: usize,
 }
 
 /// The streaming assimilation engine (see the [module docs](self)).
@@ -114,8 +121,13 @@ pub struct StreamEngine<'a> {
     twin: &'a DigitalTwin,
     forecaster: &'a WindowedForecaster,
     bank: Option<&'a ScenarioBank>,
+    /// Prefix sums of the bank's squared clean observations
+    /// ([`identify::sq_prefix`]), computed once at attach time.
+    bank_sq_prefix: Vec<f64>,
     config: StreamConfig,
     sessions: Vec<StreamSession>,
+    /// Ids of closed sessions whose rings await reuse by [`Self::open`].
+    free: Vec<usize>,
     metrics: EngineMetrics,
 }
 
@@ -136,14 +148,17 @@ impl<'a> StreamEngine<'a> {
             twin,
             forecaster,
             bank: None,
+            bank_sq_prefix: Vec::new(),
             config,
             sessions: Vec::new(),
+            free: Vec::new(),
             metrics: EngineMetrics::default(),
         }
     }
 
     /// Attach a scenario bank: every arrived sample then also updates the
-    /// sequential per-scenario identification scores.
+    /// sequential per-scenario identification scores. Precomputes the
+    /// clean-energy prefix sums the blocked GEMM scoring reads.
     pub fn with_bank(mut self, bank: &'a ScenarioBank) -> Self {
         assert_eq!(
             bank.clean_observations().nrows(),
@@ -156,21 +171,46 @@ impl<'a> StreamEngine<'a> {
                 "attach the bank before any samples arrive"
             );
         }
-        self.sessions
-            .iter_mut()
-            .for_each(|s| s.misfit = vec![0.0; bank.len()]);
+        // Resize every session's misfit accumulator in place (no
+        // realloc when capacity suffices) instead of swapping in a
+        // fresh vec per session.
+        self.sessions.iter_mut().for_each(|s| {
+            s.misfit.clear();
+            s.misfit.resize(bank.len(), 0.0);
+        });
+        self.bank_sq_prefix = identify::sq_prefix(bank.clean_observations());
         self.bank = Some(bank);
         self
     }
 
-    /// Open a new observation session; returns its id.
+    /// Open an observation session; returns its id. Reuses the ring and
+    /// misfit allocations of a previously [closed](Self::close) session
+    /// when one is available, so indefinite open/close service keeps a
+    /// fixed memory footprint (the high-water mark of concurrently open
+    /// sessions).
     pub fn open(&mut self) -> usize {
+        let n_scen = self.bank.map_or(0, |b| b.len());
+        if let Some(id) = self.free.pop() {
+            self.sessions[id].reopen(n_scen);
+            return id;
+        }
         let id = self.sessions.len();
         let nd = self.twin.solver.sensors.len();
-        let n_scen = self.bank.map_or(0, |b| b.len());
         self.sessions
             .push(StreamSession::new(id, self.twin.n_data(), nd, n_scen));
+        self.metrics.rings_allocated += 1;
         id
+    }
+
+    /// Close a session once its event is over: the slot (ring buffer and
+    /// misfit accumulator included) goes on the freelist and the next
+    /// [`Self::open`] reuses it. Closed sessions are skipped by every
+    /// tick stage; their last products stay readable until reuse.
+    pub fn close(&mut self, id: usize) {
+        let s = &mut self.sessions[id];
+        assert!(s.active, "close of already-closed session {id}");
+        s.active = false;
+        self.free.push(id);
     }
 
     /// Feed newly arrived samples (time-major continuation) into a
@@ -178,6 +218,7 @@ impl<'a> StreamEngine<'a> {
     /// whole burst. Returns how many samples were accepted (pushes past
     /// the event horizon are clamped).
     pub fn push(&mut self, id: usize, samples: &[f64]) -> usize {
+        assert!(self.sessions[id].active, "push into closed session {id}");
         let accepted = self.sessions[id].ring.push(samples);
         self.metrics.samples_ingested += accepted;
         accepted
@@ -203,7 +244,7 @@ impl<'a> StreamEngine<'a> {
     /// benchmarking support (identification scores are *not* reset — they
     /// are a pure function of the arrived samples).
     pub fn rewind(&mut self) {
-        for s in &mut self.sessions {
+        for s in self.sessions.iter_mut().filter(|s| s.active) {
             s.window_idx = None;
         }
     }
@@ -214,30 +255,38 @@ impl<'a> StreamEngine<'a> {
         let t0 = Instant::now();
         let mut m = TickMetrics::default();
 
-        // 1. Sequential identification of newly arrived samples.
+        // 1. Sequential identification of newly arrived samples: sessions
+        //    whose unscored range coincides (the common lockstep case) are
+        //    bucketed and scored by one grouped rows × scenarios GEMM, so
+        //    the bank's clean block is streamed once per tick rather than
+        //    once per session; stragglers fall back to a group of one.
         if let Some(bank) = self.bank {
             let clean = bank.clean_observations();
-            for s in &mut self.sessions {
+            let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
+            for s in self.sessions.iter_mut().filter(|s| s.active) {
                 let filled = s.ring.filled();
-                if s.scored == filled {
-                    continue;
+                if s.scored < filled {
+                    buckets.entry((s.scored, filled)).or_default().push(s);
                 }
-                let d = s.ring.prefix(filled);
-                for (i, &di) in d.iter().enumerate().skip(s.scored) {
-                    for (mis, &pred) in s.misfit.iter_mut().zip(clean.row(i)) {
-                        let r = di - pred;
-                        *mis += r * r;
-                    }
-                }
-                m.samples_scored += filled - s.scored;
-                s.scored = filled;
+            }
+            for ((i0, i1), sessions) in buckets {
+                let mut group: Vec<(&[f64], &mut [f64])> = sessions
+                    .into_iter()
+                    .map(|s| {
+                        s.scored = i1;
+                        let StreamSession { ring, misfit, .. } = s;
+                        (ring.prefix(i1), &mut misfit[..])
+                    })
+                    .collect();
+                identify::score_group_gemm(clean, &self.bank_sq_prefix, i0, i1, &mut group);
+                m.samples_scored += (i1 - i0) * group.len();
             }
         }
 
         // 2. Group sessions that crossed a new rung, by rung index, then
         //    assimilate each group in bounded chunks.
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (idx, s) in self.sessions.iter().enumerate() {
+        for (idx, s) in self.sessions.iter().enumerate().filter(|(_, s)| s.active) {
             if let Some(w) = self.forecaster.window_for(s.steps()) {
                 if s.window_idx.is_none_or(|cur| w > cur) {
                     groups.entry(w).or_default().push(idx);

@@ -1,0 +1,272 @@
+//! Scenario-identification kernels: scoring arrived samples against a
+//! bank's clean observation curves.
+//!
+//! A session's per-scenario squared misfit over its scored samples is
+//! `mis_j = Σ_i (d_i − c_ij)²` with `c` the bank's stacked clean block
+//! (`(Nd·Nt) × B`, row `i` = every scenario's prediction for the same
+//! (sensor, time) slot). The scalar reference walks one sample at a time.
+//! The production path expands the square,
+//!
+//! ```text
+//!   Σ_i (d_i − c_ij)²  =  Σ_i d_i²  −  2 Σ_i d_i c_ij  +  Σ_i c_ij²,
+//! ```
+//!
+//! so a whole *block* of newly arrived rows updates all `B` scenarios at
+//! once: the data term is a scalar, the clean-energy term is a lookup into
+//! precomputed prefix sums ([`sq_prefix`]), and the cross term is a blocked
+//! `rows × scenarios` GEMM ([`tsunami_linalg::vec_ops::block_axpy`]) whose
+//! passes over the `B`-wide misfit accumulator are amortized over four
+//! clean rows instead of re-paid per sample. That is what keeps
+//! identification cheap when banks grow to 10³+ scenarios — the
+//! `bank_identification` bench measures the two paths against each other.
+
+use tsunami_linalg::vec_ops::{block_axpy, block_axpy2};
+use tsunami_linalg::DMatrix;
+
+/// Prefix sums of the squared clean observations: row-major
+/// `(n + 1) × B` with `out[i·B + j] = Σ_{i' < i} c_{i'j}²`, so the clean
+/// energy of any row range `[i0, i1)` is the `B`-vector
+/// `out[i1·B..] − out[i0·B..]`. One extra pass over the bank at attach
+/// time buys an O(B) range lookup per scoring call.
+pub fn sq_prefix(clean: &DMatrix) -> Vec<f64> {
+    let (n, b) = (clean.nrows(), clean.ncols());
+    let mut out = vec![0.0; (n + 1) * b];
+    for i in 0..n {
+        let row = clean.row(i);
+        let (lo, hi) = out[i * b..(i + 2) * b].split_at_mut(b);
+        for (j, (h, &l)) in hi.iter_mut().zip(lo.iter()).enumerate() {
+            *h = l + row[j] * row[j];
+        }
+    }
+    out
+}
+
+/// Scalar per-sample reference: for each newly arrived sample
+/// `i ∈ [scored, d_prefix.len())`, `misfit[j] += (d_i − c_ij)²`. This is
+/// the pre-GEMM streaming loop, retained as the equivalence oracle and
+/// the bench baseline.
+pub fn score_samples_scalar(clean: &DMatrix, d_prefix: &[f64], scored: usize, misfit: &mut [f64]) {
+    assert!(d_prefix.len() <= clean.nrows(), "more samples than rows");
+    assert_eq!(misfit.len(), clean.ncols(), "misfit width");
+    for (i, &di) in d_prefix.iter().enumerate().skip(scored) {
+        for (mis, &pred) in misfit.iter_mut().zip(clean.row(i)) {
+            let r = di - pred;
+            *mis += r * r;
+        }
+    }
+}
+
+/// Clean rows scored per pass of the cross-term GEMM: small enough that a
+/// `ROW_BLOCK × B` block of clean rows stays cache-resident while every
+/// stream in a group is scored against it, large enough to amortize the
+/// misfit-accumulator traffic (see [`score_group_gemm`]).
+const ROW_BLOCK: usize = 16;
+
+/// Blocked GEMM scoring of one stream's newly arrived rows `[scored,
+/// d_prefix.len())` (see the [module docs](self)): one scalar data-energy
+/// term, one prefix-sum range lookup, and one rank-R
+/// [`block_axpy`] over the contiguous clean rows. Agrees with
+/// [`score_samples_scalar`] to roundoff (the expansion reassociates the
+/// sums), at any sample granularity.
+pub fn score_samples_gemm(
+    clean: &DMatrix,
+    sq_prefix: &[f64],
+    d_prefix: &[f64],
+    scored: usize,
+    misfit: &mut [f64],
+) {
+    score_group_gemm(
+        clean,
+        sq_prefix,
+        scored,
+        d_prefix.len(),
+        &mut [(d_prefix, misfit)],
+    );
+}
+
+/// Blocked GEMM scoring of a *group* of streams that all need the same
+/// row range `[i0, i1)` scored — the `(streams × rows) · (rows ×
+/// scenarios)` GEMM proper. `group` pairs each stream's sample prefix
+/// (`d_prefix`, at least `i1` long) with its `B`-wide misfit accumulator.
+///
+/// The cross-term loop runs row-blocks *outer* and streams *inner*: each
+/// `ROW_BLOCK × B` block of clean rows is pulled through the cache
+/// hierarchy once and reused by every stream in the group, so a tick that
+/// scores `S` lockstep sessions against a 10³⁺-scenario bank streams the
+/// bank once instead of `S` times — at bank sizes where the clean block
+/// spills out of cache, that is the entire cost. The per-sample scalar
+/// loop, by contrast, re-streams the bank per stream *and* re-walks the
+/// misfit row per sample.
+pub fn score_group_gemm(
+    clean: &DMatrix,
+    sq_prefix: &[f64],
+    i0: usize,
+    i1: usize,
+    group: &mut [(&[f64], &mut [f64])],
+) {
+    let b = clean.ncols();
+    assert!(i1 <= clean.nrows(), "more samples than rows");
+    assert_eq!(sq_prefix.len(), (clean.nrows() + 1) * b, "sq_prefix shape");
+    if i0 >= i1 || group.is_empty() {
+        return;
+    }
+    // Data-energy and clean-energy terms, one O(B) pass per stream.
+    let lo = &sq_prefix[i0 * b..(i0 + 1) * b];
+    let hi = &sq_prefix[i1 * b..(i1 + 1) * b];
+    for (d_prefix, misfit) in group.iter_mut() {
+        assert!(d_prefix.len() >= i1, "stream shorter than scored range");
+        assert_eq!(misfit.len(), b, "misfit width");
+        let dd: f64 = d_prefix[i0..i1].iter().map(|v| v * v).sum();
+        for ((m, &h), &l) in misfit.iter_mut().zip(hi).zip(lo) {
+            *m += dd + (h - l);
+        }
+    }
+    // Cross terms: row-blocks outer, streams inner (pairwise, so each
+    // loaded clean block feeds two misfit accumulators).
+    let mut j0 = i0;
+    while j0 < i1 {
+        let j1 = (j0 + ROW_BLOCK).min(i1);
+        let rows = &clean.as_slice()[j0 * b..j1 * b];
+        let mut chunks = group.chunks_mut(2);
+        for pair in &mut chunks {
+            match pair {
+                [(d0, m0), (d1, m1)] => {
+                    block_axpy2(-2.0, &d0[j0..j1], &d1[j0..j1], rows, b, m0, m1);
+                }
+                [(d0, m0)] => block_axpy(-2.0, &d0[j0..j1], rows, b, m0),
+                _ => unreachable!("chunks_mut(2) yields 1- or 2-element chunks"),
+            }
+        }
+        j0 = j1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_block(n: usize, b: usize) -> DMatrix {
+        DMatrix::from_fn(n, b, |i, j| ((i * 7 + 3 * j) as f64 * 0.13).sin())
+    }
+
+    #[test]
+    fn sq_prefix_rows_are_running_energies() {
+        let c = clean_block(9, 5);
+        let p = sq_prefix(&c);
+        assert_eq!(p.len(), 10 * 5);
+        for j in 0..5 {
+            assert_eq!(p[j], 0.0);
+            let mut acc = 0.0;
+            for i in 0..9 {
+                acc += c[(i, j)] * c[(i, j)];
+                assert!((p[(i + 1) * 5 + j] - acc).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_scalar_at_awkward_granularities() {
+        // Feed the same stream in uneven chunks (1, 3, 7, remainder) and
+        // in one shot; both paths must agree with the scalar oracle.
+        let (n, b) = (41, 17);
+        let c = clean_block(n, b);
+        let p = sq_prefix(&c);
+        let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() * 2.0).collect();
+
+        let mut ref_mis = vec![0.0; b];
+        score_samples_scalar(&c, &d, 0, &mut ref_mis);
+
+        let mut one_shot = vec![0.0; b];
+        score_samples_gemm(&c, &p, &d, 0, &mut one_shot);
+
+        let mut chunked = vec![0.0; b];
+        let mut scored = 0;
+        for step in [1usize, 3, 7, 2, 11, 5].iter().cycle() {
+            if scored == n {
+                break;
+            }
+            let next = (scored + step).min(n);
+            score_samples_gemm(&c, &p, &d[..next], scored, &mut chunked);
+            scored = next;
+        }
+
+        for j in 0..b {
+            assert!(
+                (one_shot[j] - ref_mis[j]).abs() < 1e-10 * ref_mis[j].max(1.0),
+                "one-shot scenario {j}: {} vs {}",
+                one_shot[j],
+                ref_mis[j]
+            );
+            assert!(
+                (chunked[j] - ref_mis[j]).abs() < 1e-10 * ref_mis[j].max(1.0),
+                "chunked scenario {j}: {} vs {}",
+                chunked[j],
+                ref_mis[j]
+            );
+        }
+    }
+
+    #[test]
+    fn group_scoring_matches_per_stream_scalar() {
+        // A lockstep group of streams scored in one grouped GEMM must
+        // agree with independent scalar passes, over a range that is not
+        // ROW_BLOCK-aligned on either end.
+        let (n, b, streams) = (37, 11, 5);
+        let c = clean_block(n, b);
+        let p = sq_prefix(&c);
+        let ds: Vec<Vec<f64>> = (0..streams)
+            .map(|s| (0..n).map(|i| ((i + 13 * s) as f64 * 0.29).cos()).collect())
+            .collect();
+        let (i0, i1) = (3, 30);
+
+        let mut mis: Vec<Vec<f64>> = vec![vec![0.25; b]; streams];
+        {
+            let mut group: Vec<(&[f64], &mut [f64])> = ds
+                .iter()
+                .zip(mis.iter_mut())
+                .map(|(d, m)| (&d[..], &mut m[..]))
+                .collect();
+            score_group_gemm(&c, &p, i0, i1, &mut group);
+        }
+
+        for (d, m) in ds.iter().zip(&mis) {
+            let mut m_ref = vec![0.25; b];
+            score_samples_scalar(&c, &d[..i1], i0, &mut m_ref);
+            for (a, r) in m.iter().zip(&m_ref) {
+                assert!((a - r).abs() < 1e-10 * r.max(1.0), "{a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let c = clean_block(6, 4);
+        let p = sq_prefix(&c);
+        let d: Vec<f64> = (0..3).map(|i| i as f64).collect();
+        let mut mis = vec![1.5; 4];
+        score_samples_gemm(&c, &p, &d, 3, &mut mis);
+        assert_eq!(mis, vec![1.5; 4]);
+    }
+
+    #[test]
+    fn matched_scenario_scores_near_zero() {
+        // Scoring a scenario's own clean curve must leave its misfit at
+        // roundoff level even through the expanded (cancelling) form.
+        let (n, b) = (32, 6);
+        let c = clean_block(n, b);
+        let p = sq_prefix(&c);
+        let d = c.col(2);
+        let mut mis = vec![0.0; b];
+        score_samples_gemm(&c, &p, &d, 0, &mut mis);
+        assert!(
+            mis[2].abs() < 1e-10,
+            "own-scenario misfit should vanish: {}",
+            mis[2]
+        );
+        for (j, &m) in mis.iter().enumerate() {
+            if j != 2 {
+                assert!(m > 1e-3, "mismatched scenario {j} must score badly");
+            }
+        }
+    }
+}

@@ -24,15 +24,18 @@
 //!   [`StreamConfig::chunk`] columns, so the working set stays
 //!   `O(Nd·Nt · chunk)` no matter how many thousands of streams are live —
 //!   the engine never materializes an `(Nd·Nt) × B` block.
-//! - With a [`tsunami_core::ScenarioBank`] attached, each arrived sample
-//!   sequentially updates a per-scenario log-likelihood, yielding a ranked
-//!   scenario match ([`ScenarioMatch`]) whose posterior sharpens as the
-//!   window grows, alongside a [`WarningLevel`] classification from the
-//!   forecast's 95% credible band that tightens the same way.
+//! - With a [`tsunami_core::ScenarioBank`] attached, newly arrived
+//!   samples sequentially update a per-scenario log-likelihood via the
+//!   blocked `rows × scenarios` GEMM kernels of [`identify`] (so banks of
+//!   10³+ scenarios stay cheap), yielding a ranked scenario match
+//!   ([`ScenarioMatch`]) whose posterior sharpens as the window grows,
+//!   alongside a [`WarningLevel`] classification from the forecast's 95%
+//!   credible band that tightens the same way.
 //! - [`TickMetrics`] / [`EngineMetrics`] record per-tick latency,
 //!   throughput, and the peak materialized panel.
 
 pub mod engine;
+pub mod identify;
 pub mod session;
 
 pub use engine::{EngineMetrics, ScenarioMatch, StreamConfig, StreamEngine, TickMetrics};

@@ -56,6 +56,13 @@ impl SampleRing {
         assert!(k <= self.filled, "prefix exceeds arrived samples");
         &self.buf[..k]
     }
+
+    /// Empty the ring for reuse by a new event, keeping the allocation.
+    /// Stale samples beyond the fill point are never read (every accessor
+    /// is bounded by `filled`), so no zeroing is needed.
+    pub fn clear(&mut self) {
+        self.filled = 0;
+    }
 }
 
 /// Warning classification from a forecast's 95% credible band against the
@@ -106,6 +113,9 @@ pub struct StreamSession {
     pub m_norm: Option<f64>,
     /// Latest warning classification.
     pub level: WarningLevel,
+    /// Whether the session is open (closed sessions sit on the engine's
+    /// freelist awaiting reuse and are skipped by every tick stage).
+    pub(crate) active: bool,
 }
 
 impl StreamSession {
@@ -120,7 +130,29 @@ impl StreamSession {
             forecast: None,
             m_norm: None,
             level: WarningLevel::AllClear,
+            active: true,
         }
+    }
+
+    /// Reset a closed session for a fresh event, reusing the ring and
+    /// misfit allocations instead of allocating new ones — the freelist
+    /// half of the engine's session-eviction story.
+    pub(crate) fn reopen(&mut self, n_scenarios: usize) {
+        debug_assert!(!self.active, "reopen of an open session");
+        self.ring.clear();
+        self.window_idx = None;
+        self.scored = 0;
+        self.misfit.clear();
+        self.misfit.resize(n_scenarios, 0.0);
+        self.forecast = None;
+        self.m_norm = None;
+        self.level = WarningLevel::AllClear;
+        self.active = true;
+    }
+
+    /// True while the session is open (not returned to the freelist).
+    pub fn is_open(&self) -> bool {
+        self.active
     }
 
     /// Number of *complete* observation steps arrived (a trailing partial

@@ -6,7 +6,7 @@
 
 use tsunami_core::window::infer_window;
 use tsunami_core::{DigitalTwin, ScenarioBank, TwinConfig};
-use tsunami_stream::{StreamConfig, StreamEngine, WarningLevel};
+use tsunami_stream::{identify, StreamConfig, StreamEngine, WarningLevel};
 
 fn rel_err(a: &[f64], b: &[f64]) -> f64 {
     let num: f64 = a
@@ -260,6 +260,108 @@ fn push_clamps_at_horizon_and_partial_steps_wait() {
     assert!(engine.session(id).is_complete());
     engine.tick();
     assert_eq!(engine.session(id).window(), Some(0));
+}
+
+#[test]
+fn gemm_identification_matches_scalar_loop_at_awkward_granularities() {
+    // The engine's blocked GEMM scoring, fed in ragged 3-sample pushes
+    // with a tick after every push, must agree with a one-shot scalar
+    // per-sample misfit loop over the same stream.
+    let (twin, bank) = setup_bank(5, 19);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default()).with_bank(&bank);
+    let id = engine.open();
+    let d = bank.observations().col(1);
+
+    let mut fed = 0;
+    while fed < d.len() {
+        let hi = (fed + 3).min(d.len());
+        engine.push(id, &d[fed..hi]);
+        fed = hi;
+        engine.tick();
+    }
+
+    let mut mis_ref = vec![0.0; bank.len()];
+    identify::score_samples_scalar(bank.clean_observations(), &d, 0, &mut mis_ref);
+    let sigma2 = bank.noise_std() * bank.noise_std();
+    let ranked = engine.ranked_matches(id);
+    for m in &ranked {
+        let ll_ref = -mis_ref[m.scenario] / (2.0 * sigma2);
+        assert!(
+            (m.log_likelihood - ll_ref).abs() < 1e-9 * ll_ref.abs().max(1.0),
+            "scenario {}: GEMM ll {} vs scalar {}",
+            m.scenario,
+            m.log_likelihood,
+            ll_ref
+        );
+    }
+    assert_eq!(
+        ranked[0].scenario, 1,
+        "stream must identify its own scenario"
+    );
+}
+
+#[test]
+fn closed_sessions_are_reused_without_new_allocations() {
+    let (twin, bank) = setup_bank(3, 31);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt / 2, nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default()).with_bank(&bank);
+
+    // First event generation: two concurrent sessions to completion.
+    let a = engine.open();
+    let b = engine.open();
+    assert_eq!(engine.metrics().rings_allocated, 2);
+    engine.push(a, &bank.observations().col(0));
+    engine.push(b, &bank.observations().col(1));
+    engine.tick();
+    let fc_a_first = engine.session(a).forecast.as_ref().unwrap().q_map.clone();
+    assert_eq!(engine.ranked_matches(a)[0].scenario, 0);
+
+    // Events end: slots go to the freelist; closed sessions keep their
+    // last products readable but drop out of tick work.
+    engine.close(a);
+    engine.close(b);
+    assert!(!engine.session(a).is_open());
+    let idle = engine.tick();
+    assert_eq!(idle.sessions_assimilated, 0);
+    assert_eq!(idle.samples_scored, 0);
+
+    // Second generation: both ids come back off the freelist with no new
+    // ring allocations and fully reset state.
+    let c = engine.open();
+    let d = engine.open();
+    assert_eq!(engine.sessions().len(), 2, "no session-table growth");
+    assert_eq!(engine.metrics().rings_allocated, 2, "rings must be reused");
+    assert!([a, b].contains(&c) && [a, b].contains(&d) && c != d);
+    assert_eq!(engine.session(c).samples(), 0);
+    assert_eq!(engine.session(c).window(), None);
+    assert!(engine.session(c).forecast.is_none());
+
+    // The reused slot serves a *different* scenario correctly: scoring
+    // and assimilation restart from scratch.
+    engine.push(c, &bank.observations().col(2));
+    engine.tick();
+    assert_eq!(engine.ranked_matches(c)[0].scenario, 2);
+    let fc_c = engine.session(c).forecast.as_ref().unwrap().q_map.clone();
+    assert!(
+        rel_err(&fc_c, &fc_a_first) > 1e-3,
+        "reused session must not inherit the old event's forecast"
+    );
+    let one_shot = wf.forecast(wf.windows.len() - 1, &bank.observations().col(2));
+    assert!(rel_err(&fc_c, &one_shot.q_map) < 1e-10);
+
+    // Pushing into a closed session and double-closing are caught.
+    engine.close(c);
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = engine.push(c, &[0.0]);
+    }))
+    .is_err());
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.close(c);
+    }))
+    .is_err());
 }
 
 #[test]

@@ -12,12 +12,30 @@
 //! ```text
 //! cargo run --release --example streaming_warning
 //! ```
+//!
+//! By default the replay runs on `TwinConfig::tiny()` (seconds). Set
+//! `STREAMING_DEMO=1` for the demo-scale variant on `TwinConfig::demo()`
+//! — a 4×4 sensor array over an 18-step horizon whose offline build takes
+//! a couple of minutes on one core, the regime where the micro-batched
+//! tick and bank-scale identification actually pay off.
 
 use cascadia_dt::prelude::*;
 
+/// `STREAMING_DEMO=1` selects the demo-scale configuration.
+fn demo_scale() -> bool {
+    std::env::var("STREAMING_DEMO")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn main() {
     println!("== Streaming assimilation: live warning timeline ==\n");
-    let config = TwinConfig::tiny();
+    let config = if demo_scale() {
+        println!("(STREAMING_DEMO=1: demo-scale twin, offline build takes minutes)\n");
+        TwinConfig::demo()
+    } else {
+        TwinConfig::tiny()
+    };
 
     // 1. Offline: a bank of diverse rupture scenarios and one precomputed
     //    twin + window ladder that will serve every live stream.

@@ -67,7 +67,7 @@ pub mod prelude {
     pub use tsunami_fem::kernels::KernelVariant;
     pub use tsunami_fft::{BlockToeplitz, FftBlockToeplitz};
     pub use tsunami_hpc::{TimerRegistry, ALPS, EL_CAPITAN, FRONTERA, PERLMUTTER};
-    pub use tsunami_linalg::{Cholesky, DMatrix, LinearOperator};
+    pub use tsunami_linalg::{Cholesky, DMatrix, LinearOperator, RhsPanel};
     pub use tsunami_mesh::{CascadiaBathymetry, FlatBathymetry, HexMesh};
     pub use tsunami_prior::MaternPrior;
     pub use tsunami_rupture::KinematicRupture;

@@ -71,8 +71,23 @@ fn quickstart_example_flow_runs_to_completion_on_tiny_config() {
 
 #[test]
 fn streaming_warning_example_flow_runs_to_completion_on_tiny_config() {
-    let config = TwinConfig::tiny();
+    streaming_warning_flow(TwinConfig::tiny());
+}
 
+/// The demo-scale variant of the streaming flow (`TwinConfig::demo()`),
+/// behind the same env flag the example reads: the offline build takes
+/// minutes on one core, so it only runs when `STREAMING_DEMO=1` is set
+/// (CI and default `cargo test` skip it).
+#[test]
+fn streaming_warning_example_flow_demo_scale_behind_env_flag() {
+    if std::env::var("STREAMING_DEMO").map(|v| v == "1") != Ok(true) {
+        eprintln!("skipping demo-scale streaming smoke (set STREAMING_DEMO=1 to run)");
+        return;
+    }
+    streaming_warning_flow(TwinConfig::demo());
+}
+
+fn streaming_warning_flow(config: TwinConfig) {
     // Bank + twin + window ladder, exactly as the example builds them
     // (same family seed; a smaller bank keeps the smoke test quick).
     let n_sessions = 4;
