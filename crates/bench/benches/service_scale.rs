@@ -1,0 +1,196 @@
+//! Service-scale bench: persistent-pool dispatch cost and sharded-engine
+//! tick latency across the open-session ladder.
+//!
+//! Two measurements:
+//!
+//! 1. **`pool_dispatch`** (criterion group) — a deliberately tiny bulk
+//!    operation under a 4-thread install, once with the persistent pool
+//!    and once with the scoped per-call spawn/join baseline
+//!    (`set_bulk_mode`). The op's arithmetic is µs-scale, so the
+//!    difference *is* the dispatch cost: condvar handoff to parked
+//!    workers vs OS thread spawn/join per call.
+//!
+//! 2. **`service_scale`** (hand-rolled sweep, printed table) — a
+//!    [`StreamEngine`] over the tiny twin with a synthetic identification
+//!    bank, swept over open-session counts 10³–10⁵ (extendable to 10⁶
+//!    via `SERVICE_SCALE_MAX`) × shard counts {1, 4, 8}. Every tick
+//!    pushes one observation step into every session and ticks; per-tick
+//!    latencies give p50/p95/p99 and sessions/sec, and the per-shard
+//!    panel peaks demonstrate the bounded working set
+//!    ([`StreamEngine::shard_panel_peaks`]).
+//!
+//! Set `BENCH_SMOKE=1` for a CI smoke run (10³ sessions, shards {1, 2},
+//! 3 ticks). Shard parallelism only helps with >1 worker; pin
+//! `RAYON_NUM_THREADS=4` (or install) for the headline numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use tsunami_core::{DigitalTwin, ScenarioBank, TwinConfig};
+use tsunami_linalg::DMatrix;
+use tsunami_stream::{StreamConfig, StreamEngine};
+
+use rayon::prelude::*;
+
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Dispatch-cost A/B: the same tiny bulk op through the persistent pool
+/// and through scoped spawn/join. µs/op either way; the gap is pure
+/// handoff machinery.
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let v: Vec<f64> = (0..512).map(|i| (i as f64 * 0.13).sin()).collect();
+
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.warm_up_time(Duration::from_millis(if smoke { 10 } else { 200 }));
+    group.sample_size(if smoke { 1 } else { 10 });
+    for (name, mode) in [
+        ("persistent", rayon::BulkMode::Persistent),
+        ("scoped", rayon::BulkMode::Scoped),
+    ] {
+        rayon::set_bulk_mode(mode);
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                pool.install(|| {
+                    black_box(
+                        black_box(&v)
+                            .par_iter()
+                            .map(|x| x * 1.5 - 0.25)
+                            .sum::<f64>(),
+                    )
+                })
+            });
+        });
+    }
+    rayon::set_bulk_mode(rayon::BulkMode::Persistent);
+    group.finish();
+    let st = rayon::pool_stats();
+    println!(
+        "pool stats: {} jobs, {} handoffs (spawn/joins avoided), {} workers spawned",
+        st.jobs, st.handoffs, st.workers_spawned
+    );
+}
+
+/// A bank of `n_scen` deterministic synthetic curves over the twin's data
+/// space — identification load without the offline scenario solves.
+fn synthetic_bank(twin: &DigitalTwin, n_scen: usize) -> ScenarioBank {
+    let n_d = twin.n_data();
+    let clean = DMatrix::from_fn(n_d, n_scen, |i, j| ((i * 13 + 7 * j) as f64 * 0.17).sin());
+    ScenarioBank::synthetic(clean.clone(), clean, 0.05)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// The session-ladder sweep. Not a criterion group: each configuration
+/// is one engine lifetime, and the quantity of interest is the per-tick
+/// latency *distribution*, which criterion's mean/min summary hides.
+fn service_scale_sweep() {
+    let smoke = smoke_mode();
+    let cfg = TwinConfig::tiny();
+    let twin = DigitalTwin::offline(cfg, 0.02);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let forecaster = twin.windowed(&[nt / 2, nt]);
+    let bank = synthetic_bank(&twin, 32);
+
+    let (session_ladder, shard_counts, n_ticks): (Vec<usize>, Vec<usize>, usize) = if smoke {
+        (vec![1_000], vec![1, 2], 3)
+    } else {
+        let mut ladder = vec![1_000, 10_000, 100_000];
+        if let Ok(max) = std::env::var("SERVICE_SCALE_MAX") {
+            if let Ok(max) = max.parse::<usize>() {
+                ladder.retain(|&s| s <= max);
+                if !ladder.contains(&max) {
+                    ladder.push(max);
+                }
+            }
+        }
+        (ladder, vec![1, 4, 8], nt)
+    };
+
+    println!("\nservice_scale: sessions/sec × tick-latency percentiles");
+    println!(
+        "  (tiny twin, Nd={nd}, horizon {nt} steps, bank {} scenarios)",
+        bank.len()
+    );
+    println!(
+        "{:>9} {:>7} {:>12} {:>10} {:>10} {:>10} {:>14} {:>10}",
+        "sessions",
+        "shards",
+        "sess/sec",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "peak panel/sh",
+        "pool jobs"
+    );
+    for &n_sessions in &session_ladder {
+        for &shards in &shard_counts {
+            let stream_cfg = StreamConfig {
+                shards,
+                infer: false,
+                ..StreamConfig::default()
+            };
+            let mut engine = StreamEngine::new(&twin, &forecaster, stream_cfg).with_bank(&bank);
+            let ids: Vec<usize> = (0..n_sessions).map(|_| engine.open()).collect();
+
+            // One observation step per session per tick: the steady
+            // service pattern, every session advancing in lockstep.
+            let mut latencies = Vec::with_capacity(n_ticks);
+            let t_all = Instant::now();
+            for step in 0..n_ticks {
+                let lo = step * nd;
+                for (s, &id) in ids.iter().enumerate() {
+                    let sample: Vec<f64> = (lo..lo + nd)
+                        .map(|i| ((i * 11 + s) as f64 * 0.19).sin())
+                        .collect();
+                    engine.push(id, &sample);
+                }
+                let tm = engine.tick();
+                latencies.push(tm.seconds * 1e3);
+            }
+            let wall = t_all.elapsed().as_secs_f64();
+            latencies.sort_by(f64::total_cmp);
+
+            let em = engine.metrics();
+            let peaks = engine.shard_panel_peaks();
+            let per_shard_peak = peaks.iter().copied().max().unwrap_or(0);
+            // Session-ticks per second of tick time: every open session is
+            // scored every tick, so the service rate is sessions × ticks
+            // over the summed tick latencies.
+            let rate = (n_sessions * n_ticks) as f64 / em.seconds.max(1e-12);
+            println!(
+                "{:>9} {:>7} {:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>14} {:>10}",
+                n_sessions,
+                shards,
+                rate,
+                percentile(&latencies, 0.50),
+                percentile(&latencies, 0.95),
+                percentile(&latencies, 0.99),
+                per_shard_peak,
+                em.pool_jobs,
+            );
+            assert_eq!(em.assimilations, 2 * n_sessions * usize::from(!smoke));
+            let _ = wall;
+        }
+    }
+}
+
+fn bench_service_scale(c: &mut Criterion) {
+    bench_pool_dispatch(c);
+    service_scale_sweep();
+}
+
+criterion_group!(benches, bench_service_scale);
+criterion_main!(benches);

@@ -147,11 +147,13 @@ mod tests {
         // The ledger is shared across rayon workers during assembly; the
         // total must be exact regardless of interleaving, and the peak at
         // least the final total.
+        // Spawned through the rayon shim so the workers draw from the
+        // same process-wide thread budget as the real assembly fan-out.
         let l = MemoryLedger::new();
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             for t in 0..8 {
                 let l = &l;
-                scope.spawn(move || {
+                scope.spawn(move |_| {
                     for i in 0..100 {
                         l.alloc(&format!("buf{t}"), 8 * (i + 1));
                     }

@@ -172,11 +172,13 @@ mod tests {
     fn concurrent_timers_accumulate_all_calls() {
         // Phase 1 times adjoint solves from parallel workers; counts and
         // durations must survive arbitrary interleavings.
+        // Spawned through the rayon shim so the workers draw from the
+        // same process-wide thread budget as the real phase-1 fan-out.
         let t = TimerRegistry::new();
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             for _ in 0..8 {
                 let t = &t;
-                scope.spawn(move || {
+                scope.spawn(move |_| {
                     for _ in 0..50 {
                         t.time("solver", || std::hint::black_box(3 * 7));
                     }

@@ -160,6 +160,71 @@ pub fn block_axpy2(
     }
 }
 
+/// Four-accumulator rank-R panel update: the 4-stream generalization of
+/// [`block_axpy2`]. Each block of rows loaded from `rows` feeds *four*
+/// accumulators (`acc[s] += alpha · Σ_r coeffs[s][r] · rows[r]`), so the
+/// dominant load traffic is amortized over four misfit streams — and the
+/// FMA-to-load ratio doubles over the pairwise kernel (16 fused updates
+/// per 4 row values + 4 accumulator read/writes).
+///
+/// Rows are *strided*: row `r` occupies `rows[r·stride .. r·stride + width]`.
+/// `stride == width` walks a contiguous row-major block (the
+/// [`block_axpy`] layout); `stride > width` walks a column tile of a wider
+/// block without copying — the tiling axis the grouped scenario-
+/// identification GEMM uses once banks outgrow the cache.
+pub fn block_axpy4(
+    alpha: f64,
+    coeffs: [&[f64]; 4],
+    rows: &[f64],
+    stride: usize,
+    width: usize,
+    acc: [&mut [f64]; 4],
+) {
+    let r_n = coeffs[0].len();
+    for c in &coeffs {
+        assert_eq!(c.len(), r_n, "block_axpy4: coeff lengths");
+    }
+    assert!(stride >= width, "block_axpy4: stride narrower than width");
+    if r_n > 0 {
+        assert!(
+            rows.len() >= (r_n - 1) * stride + width,
+            "block_axpy4: block shape mismatch"
+        );
+    }
+    for a in &acc {
+        assert_eq!(a.len(), width, "block_axpy4: accumulator width");
+    }
+    let [c0, c1, c2, c3] = coeffs;
+    let [acc0, acc1, acc2, acc3] = acc;
+    let r4 = r_n & !3;
+    let mut r = 0;
+    while r < r4 {
+        let a: [f64; 4] = std::array::from_fn(|t| alpha * c0[r + t]);
+        let b: [f64; 4] = std::array::from_fn(|t| alpha * c1[r + t]);
+        let c: [f64; 4] = std::array::from_fn(|t| alpha * c2[r + t]);
+        let d: [f64; 4] = std::array::from_fn(|t| alpha * c3[r + t]);
+        let b0 = &rows[r * stride..r * stride + width];
+        let b1 = &rows[(r + 1) * stride..(r + 1) * stride + width];
+        let b2 = &rows[(r + 2) * stride..(r + 2) * stride + width];
+        let b3 = &rows[(r + 3) * stride..(r + 3) * stride + width];
+        for j in 0..width {
+            let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+            acc0[j] += (a[0] * v0 + a[1] * v1) + (a[2] * v2 + a[3] * v3);
+            acc1[j] += (b[0] * v0 + b[1] * v1) + (b[2] * v2 + b[3] * v3);
+            acc2[j] += (c[0] * v0 + c[1] * v1) + (c[2] * v2 + c[3] * v3);
+            acc3[j] += (d[0] * v0 + d[1] * v1) + (d[2] * v2 + d[3] * v3);
+        }
+        r += 4;
+    }
+    for rr in r..r_n {
+        let seg = &rows[rr * stride..rr * stride + width];
+        axpy(alpha * c0[rr], seg, acc0);
+        axpy(alpha * c1[rr], seg, acc1);
+        axpy(alpha * c2[rr], seg, acc2);
+        axpy(alpha * c3[rr], seg, acc3);
+    }
+}
+
 /// `y ← y + alpha x`.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
@@ -321,6 +386,96 @@ mod tests {
                 assert!((u - v).abs() < 1e-12, "rows={rows} acc1: {u} vs {v}");
             }
         }
+    }
+
+    #[test]
+    fn block_axpy4_matches_four_block_axpys_at_awkward_widths() {
+        // Row counts straddling the 4-row unroll and widths that are not
+        // lane-friendly; contiguous layout (stride == width).
+        for rows in [0usize, 1, 3, 4, 5, 7, 8, 9, 13, 16, 21] {
+            for width in [1usize, 5, 11, 17] {
+                let cs: Vec<Vec<f64>> = (0..4)
+                    .map(|s| {
+                        (0..rows)
+                            .map(|r| ((r + 3 * s) as f64 * 0.9).sin())
+                            .collect()
+                    })
+                    .collect();
+                let block: Vec<f64> = (0..rows * width).map(|i| (i as f64 * 0.23).sin()).collect();
+                let mut accs: Vec<Vec<f64>> = (0..4).map(|s| vec![0.5 - s as f64; width]).collect();
+                let mut refs = accs.clone();
+                {
+                    let [a0, a1, a2, a3] = &mut accs[..] else {
+                        unreachable!()
+                    };
+                    block_axpy4(
+                        -2.0,
+                        [&cs[0], &cs[1], &cs[2], &cs[3]],
+                        &block,
+                        width,
+                        width,
+                        [a0, a1, a2, a3],
+                    );
+                }
+                for s in 0..4 {
+                    block_axpy(-2.0, &cs[s], &block, width, &mut refs[s]);
+                    for (x, y) in accs[s].iter().zip(&refs[s]) {
+                        assert!(
+                            (x - y).abs() < 1e-12,
+                            "rows={rows} width={width} acc{s}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_axpy4_strided_walks_column_tiles() {
+        // A column tile [c0, c0+width) of a wider row-major block must
+        // produce the same update as the contiguous kernel on a gathered
+        // copy of that tile.
+        let (rows, full, width, c0) = (11usize, 29usize, 7usize, 9usize);
+        let cs: Vec<Vec<f64>> = (0..4)
+            .map(|s| {
+                (0..rows)
+                    .map(|r| ((r * 5 + s) as f64 * 0.37).cos())
+                    .collect()
+            })
+            .collect();
+        let block: Vec<f64> = (0..rows * full).map(|i| (i as f64 * 0.11).sin()).collect();
+        let gathered: Vec<f64> = (0..rows)
+            .flat_map(|r| block[r * full + c0..r * full + c0 + width].to_vec())
+            .collect();
+        let mut strided: Vec<Vec<f64>> = (0..4).map(|s| vec![s as f64 * 0.1; width]).collect();
+        let mut contig = strided.clone();
+        {
+            let [a0, a1, a2, a3] = &mut strided[..] else {
+                unreachable!()
+            };
+            block_axpy4(
+                1.5,
+                [&cs[0], &cs[1], &cs[2], &cs[3]],
+                &block[c0..(rows - 1) * full + c0 + width],
+                full,
+                width,
+                [a0, a1, a2, a3],
+            );
+        }
+        {
+            let [a0, a1, a2, a3] = &mut contig[..] else {
+                unreachable!()
+            };
+            block_axpy4(
+                1.5,
+                [&cs[0], &cs[1], &cs[2], &cs[3]],
+                &gathered,
+                width,
+                width,
+                [a0, a1, a2, a3],
+            );
+        }
+        assert_eq!(strided, contig, "strided tile walk must match gathered");
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! threads (mirroring how rayon keeps nested work on one pool).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::iter::ParallelIterator;
+use crate::pool;
 
 /// Pieces per worker the splitter aims for. Over-splitting beyond one piece
 /// per thread is what lets the atomic-cursor claim loop balance load.
@@ -43,6 +44,52 @@ thread_local! {
     static INSTALL_THREADS: Cell<usize> = const { Cell::new(0) };
     /// True on threads executing pieces of an enclosing bulk operation.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// How bulk operations fan work out to extra threads.
+///
+/// The serial fast path (resolved thread count 1, nested bulk op, or
+/// nothing to split) is identical in both modes and never touches a pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BulkMode {
+    /// Hand pieces to persistent, condvar-parked workers (the `pool`
+    /// module) — no per-call OS thread spawn/join. The default.
+    Persistent,
+    /// Spawn scoped workers per bulk operation (the pre-pool execution
+    /// model). Selected by `RAYON_POOL=scoped`, kept as the conformance
+    /// baseline and for measuring what the pool saves.
+    Scoped,
+}
+
+/// Resolved bulk-dispatch mode: 0 = unresolved, 1 = persistent, 2 = scoped.
+static BULK_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The active dispatch mode: an explicit [`set_bulk_mode`] wins, then the
+/// `RAYON_POOL` environment variable (`scoped` selects the scoped
+/// baseline), then the persistent-pool default.
+pub fn bulk_mode() -> BulkMode {
+    match BULK_MODE.load(Ordering::Relaxed) {
+        1 => BulkMode::Persistent,
+        2 => BulkMode::Scoped,
+        _ => {
+            let resolved = match std::env::var("RAYON_POOL").as_deref() {
+                Ok("scoped") => 2,
+                _ => 1,
+            };
+            // First resolution sticks; a concurrent set_bulk_mode wins.
+            let _ = BULK_MODE.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+            bulk_mode()
+        }
+    }
+}
+
+/// Override the bulk-dispatch mode (bench/test hook; see [`bulk_mode`]).
+pub fn set_bulk_mode(mode: BulkMode) {
+    let v = match mode {
+        BulkMode::Persistent => 1,
+        BulkMode::Scoped => 2,
+    };
+    BULK_MODE.store(v, Ordering::Relaxed);
 }
 
 fn default_threads() -> usize {
@@ -210,20 +257,36 @@ where
     // instead of multiplying. With the budget exhausted the caller simply
     // drains every piece itself.
     let tickets: Vec<SpawnTicket> = (1..workers).map_while(|_| try_spawn_ticket()).collect();
-    std::thread::scope(|scope| {
-        for ticket in tickets {
-            scope.spawn(|| {
-                let _slot = ticket;
-                // Workers inherit the caller's effective thread count so
-                // `current_num_threads()` agrees across all pieces.
+    match bulk_mode() {
+        BulkMode::Persistent => {
+            // Hand the drain loop to parked pool workers: no spawn/join.
+            // Workers wrap it in the caller's effective thread count so
+            // `current_num_threads()` agrees across all pieces; tickets
+            // stay held until the job quiesces, mirroring the scoped
+            // accounting.
+            let body = || {
                 with_install_threads(threads, || {
                     run_worker(&slots, &results, &cursor, make_local, consume)
-                });
+                })
+            };
+            pool::run_job(tickets.len(), &body, || {
+                // The calling thread is worker 0.
+                run_worker(&slots, &results, &cursor, make_local, consume);
             });
+            drop(tickets);
         }
-        // The calling thread is worker 0.
-        run_worker(&slots, &results, &cursor, make_local, consume);
-    });
+        BulkMode::Scoped => std::thread::scope(|scope| {
+            for ticket in tickets {
+                scope.spawn(|| {
+                    let _slot = ticket;
+                    with_install_threads(threads, || {
+                        run_worker(&slots, &results, &cursor, make_local, consume)
+                    });
+                });
+            }
+            run_worker(&slots, &results, &cursor, make_local, consume);
+        }),
+    }
     results
         .into_iter()
         .map(|slot| {

@@ -7,11 +7,15 @@
 //! producer is a splittable, exactly-sized parallel iterator ([`iter`],
 //! [`mod@slice`]), and every terminal (`for_each`, `for_each_init`, `map` +
 //! `collect`, `fold`/`reduce`, `sum`, `count`) fans pieces out across a
-//! `std::thread::scope`-based chunk-splitting pool (`engine` internals):
-//! the iterator is pre-split into more pieces than workers, and workers
-//! dynamically claim pieces off a shared cursor, so fast workers absorb the
-//! slack of slow ones. [`join`] and [`scope`] run their closures on scoped
-//! threads the same way.
+//! chunk-splitting scheduler (`engine` internals): the iterator is
+//! pre-split into more pieces than workers, and workers dynamically claim
+//! pieces off a shared cursor, so fast workers absorb the slack of slow
+//! ones. Since PR 6 the workers are **persistent**: parked on a condvar
+//! and handed jobs without any per-call OS thread spawn/join
+//! ([`BulkMode::Persistent`], the default; `RAYON_POOL=scoped` or
+//! [`set_bulk_mode`] restores the per-call `std::thread::scope` baseline,
+//! and [`pool_stats`] counts the spawns avoided). [`join`] and [`scope`]
+//! still run their closures on scoped threads.
 //!
 //! ## Execution model
 //!
@@ -38,7 +42,20 @@
 
 pub(crate) mod engine;
 pub mod iter;
+pub(crate) mod pool;
 pub mod slice;
+
+pub use engine::{bulk_mode, set_bulk_mode, BulkMode};
+pub use pool::PoolStats;
+
+/// Lifetime counters of the persistent worker pool: jobs dispatched,
+/// parked-worker handoffs (each one a spawn/join the scoped baseline
+/// would have paid), condvar wakeups, and worker threads spawned.
+/// All-zero until the first multi-threaded bulk operation in
+/// [`BulkMode::Persistent`].
+pub fn pool_stats() -> PoolStats {
+    pool::stats()
+}
 
 pub use iter::{
     FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,

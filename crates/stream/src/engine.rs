@@ -1,35 +1,56 @@
 //! The streaming engine: micro-batching concurrent sessions through the
-//! multi-RHS windowed online path.
+//! multi-RHS windowed online path, sharded by session across workers.
 //!
-//! Event loop shape: producers call [`StreamEngine::push`] as sensor
-//! packets arrive (any granularity — single samples, partial steps, whole
-//! bursts), and the operator drives [`StreamEngine::tick`] on its service
-//! cadence. A tick does three things:
+//! Event loop shape: producers call [`StreamEngine::push`] (exclusive) or
+//! [`StreamEngine::enqueue`] (lock-free, shared — one atomic stack push)
+//! as sensor packets arrive (any granularity — single samples, partial
+//! steps, whole bursts), and the operator drives [`StreamEngine::tick`]
+//! on its service cadence. A tick does four things, each independently
+//! per shard:
 //!
-//! 1. **Sequential identification** — each session's newly arrived rows
+//! 1. **Inbox drain** — samples enqueued since the last tick are folded
+//!    into their sessions' rings (FIFO per shard).
+//! 2. **Sequential identification** — each session's newly arrived rows
 //!    update its per-scenario squared misfit against the bank's clean
 //!    observation curves in one blocked `rows × scenarios` GEMM
-//!    ([`crate::identify::score_samples_gemm`]), the sequential Bayesian
+//!    ([`crate::identify::score_group_gemm`]), the sequential Bayesian
 //!    update of Nomura et al. (arXiv:2407.03631) at bank-scale cost.
-//! 2. **Micro-batched assimilation** — sessions whose complete-step count
+//! 3. **Micro-batched assimilation** — sessions whose complete-step count
 //!    crossed a new rung of the window ladder are grouped *by rung* and
 //!    driven through one batched window inference + forecast per group
 //!    ([`tsunami_core::infer_window_batch`] /
 //!    [`tsunami_core::WindowedForecaster::forecast_batch`]), so the whole
 //!    group pays one leading-block factor walk per panel instead of one
 //!    per session.
-//! 3. **Classification** — each assimilated session's forecast band is
+//! 4. **Classification** — each assimilated session's forecast band is
 //!    classified against the warning threshold.
 //!
+//! ## Sharding
+//!
+//! Sessions are sharded by id: session `id` lives in shard `id %
+//! shards` at local slot `id / shards` ([`StreamConfig::shards`]).
+//! Every shard owns its session table, freelist, and inbox, so a tick
+//! fans the shards out across the worker pool with **one barrier per
+//! tick** — no cross-shard locks, no per-session synchronization. With
+//! `shards = 1` (the default) the engine degenerates to the exact
+//! pre-shard sequential behavior. Shard results are invariant in the
+//! shard count: identification updates each session's misfit
+//! independently, and the batched window operators act columnwise, so
+//! K-shard and 1-shard ticks agree to roundoff.
+//!
 //! Groups are processed in bounded chunks of [`StreamConfig::chunk`]
-//! sessions: the largest dense block the engine ever materializes is
+//! sessions: the largest dense block any shard ever materializes is
 //! `(Nd·Nt) × chunk` (data side) or `(Nm·Nt) × chunk` (parameter side),
 //! independent of the number of live sessions — chunked assimilation for
-//! `B ≫ 10³`.
+//! `B ≫ 10³`, now with the bound holding *per shard*
+//! ([`StreamEngine::shard_panel_peaks`]).
 
 use crate::identify;
 use crate::session::{StreamSession, WarningLevel};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::time::Instant;
 use tsunami_core::window::infer_window_batch;
 use tsunami_core::{DigitalTwin, Forecast, ScenarioBank, WindowedForecaster};
@@ -47,6 +68,9 @@ pub struct StreamConfig {
     /// alone is cheaper; inference adds the batched `K_w⁻¹` solve + FFT
     /// pass and fills [`StreamSession::m_norm`]).
     pub infer: bool,
+    /// Session shards ticked in parallel (see the [module docs](self)).
+    /// Must be ≥ 1; 1 recovers the exact pre-shard sequential engine.
+    pub shards: usize,
 }
 
 impl Default for StreamConfig {
@@ -55,6 +79,7 @@ impl Default for StreamConfig {
             chunk: 64,
             warn_threshold: 0.1,
             infer: true,
+            shards: 1,
         }
     }
 }
@@ -76,12 +101,22 @@ pub struct ScenarioMatch {
 pub struct TickMetrics {
     /// Sessions assimilated this tick (crossed a window boundary).
     pub sessions_assimilated: usize,
-    /// Batched panels dispatched this tick.
+    /// Batched panels dispatched this tick (summed over shards).
     pub panels: usize,
     /// Newly arrived samples folded into scenario scores this tick.
     pub samples_scored: usize,
-    /// Largest dense block materialized this tick (elements).
+    /// Samples accepted from the lock-free inboxes this tick (the
+    /// [`StreamEngine::enqueue`] path; direct pushes count at push time).
+    pub samples_drained: usize,
+    /// Largest dense block materialized by any *one shard* this tick
+    /// (elements) — the per-shard bounded-working-set figure.
     pub peak_panel_elems: usize,
+    /// Persistent-pool jobs dispatched during this tick
+    /// ([`rayon::pool_stats`] delta) — 0 when the tick ran serially.
+    pub pool_jobs: usize,
+    /// Parked-worker handoffs during this tick — each one an OS-thread
+    /// spawn/join the scoped baseline would have paid.
+    pub pool_handoffs: usize,
     /// Wall-clock seconds for the whole tick.
     pub seconds: f64,
 }
@@ -102,18 +137,154 @@ pub struct EngineMetrics {
     pub assimilations: usize,
     /// Batched panels dispatched.
     pub panels: usize,
-    /// Total samples accepted by `push`.
+    /// Total samples accepted (direct pushes at push time, enqueued
+    /// samples when their shard drains them).
     pub samples_ingested: usize,
     /// Total tick wall-clock seconds.
     pub seconds: f64,
-    /// Largest dense block ever materialized (elements) — the bounded-
-    /// working-set guarantee, checked against `(Nd·Nt)·chunk`.
+    /// Largest dense block any one shard ever materialized (elements) —
+    /// the bounded-working-set guarantee, checked against `(Nd·Nt)·chunk`.
     pub peak_panel_elems: usize,
+    /// Persistent-pool jobs dispatched during ticks over the engine's
+    /// lifetime ([`rayon::pool_stats`] deltas summed per tick).
+    pub pool_jobs: usize,
+    /// Parked-worker handoffs during ticks — spawn/joins avoided
+    /// relative to the scoped baseline.
+    pub pool_handoffs: usize,
     /// Fresh sample rings allocated over the engine's lifetime. Stays flat
     /// under open→close→open churn (closed sessions return their ring to a
     /// freelist and [`StreamEngine::open`] reuses it), so indefinite
     /// service does not grow memory per event.
     pub rings_allocated: usize,
+}
+
+/// A node of a shard's lock-free inbox (one [`StreamEngine::enqueue`]).
+struct InboxNode {
+    /// Global session id the samples belong to.
+    id: usize,
+    samples: Vec<f64>,
+    next: *mut InboxNode,
+}
+
+/// Lock-free multi-producer inbox: a Treiber stack of sample batches.
+/// Producers push with one CAS ([`StreamEngine::enqueue`] is `&self`);
+/// the owning shard detaches the whole stack with one atomic swap at
+/// tick start and replays it in arrival (FIFO) order.
+struct Inbox {
+    head: AtomicPtr<InboxNode>,
+}
+
+// SAFETY: the raw pointers form a singly-linked list of heap nodes owned
+// exclusively by this stack — producers only prepend (CAS on `head`),
+// the consumer only detaches the entire list (swap), and nodes are never
+// aliased after detachment. Sending or sharing the inbox moves/shares
+// ownership of that whole list.
+#[allow(unsafe_code)]
+unsafe impl Send for Inbox {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Inbox {}
+
+impl Inbox {
+    fn new() -> Self {
+        Inbox {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Prepend one batch (lock-free, any thread).
+    fn push(&self, id: usize, samples: Vec<f64>) {
+        let node = Box::into_raw(Box::new(InboxNode {
+            id,
+            samples,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` came from Box::into_raw above and is not yet
+            // published, so this thread has exclusive access to it.
+            #[allow(unsafe_code)]
+            unsafe {
+                (*node).next = head;
+            }
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    /// Detach everything enqueued so far and return it oldest-first.
+    fn drain(&self) -> Vec<(usize, Vec<f64>)> {
+        let mut cur = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !cur.is_null() {
+            // SAFETY: after the swap this thread exclusively owns the
+            // detached list; each node was created by Box::into_raw in
+            // `push` and is reconstituted exactly once here.
+            #[allow(unsafe_code)]
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+            out.push((node.id, node.samples));
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl Drop for Inbox {
+    fn drop(&mut self) {
+        // Free any batches never drained by a tick.
+        drop(self.drain());
+    }
+}
+
+/// Partial tick results of one shard, merged by [`StreamEngine::tick`].
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardTick {
+    sessions_assimilated: usize,
+    panels: usize,
+    samples_scored: usize,
+    samples_drained: usize,
+    peak_panel_elems: usize,
+}
+
+/// One session shard: its slice of the session table, freelist, and
+/// lock-free inbox. Global id `id` lives in shard `id % shards` at local
+/// slot `id / shards`.
+struct Shard {
+    sessions: Vec<StreamSession>,
+    /// Local slots of closed sessions awaiting reuse.
+    free: Vec<usize>,
+    inbox: Inbox,
+    /// Partials of the most recent tick (scratch; merged by the engine).
+    last: ShardTick,
+    /// Largest dense block this shard ever materialized (elements).
+    peak_panel_elems: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            sessions: Vec::new(),
+            free: Vec::new(),
+            inbox: Inbox::new(),
+            last: ShardTick::default(),
+            peak_panel_elems: 0,
+        }
+    }
+}
+
+/// Read-only per-tick context shared by every shard's local tick.
+struct TickCtx<'t> {
+    twin: &'t DigitalTwin,
+    forecaster: &'t WindowedForecaster,
+    bank: Option<&'t ScenarioBank>,
+    sq_prefix: &'t [f64],
+    config: StreamConfig,
+    n_shards: usize,
 }
 
 /// The streaming assimilation engine (see the [module docs](self)).
@@ -125,9 +296,9 @@ pub struct StreamEngine<'a> {
     /// ([`identify::sq_prefix`]), computed once at attach time.
     bank_sq_prefix: Vec<f64>,
     config: StreamConfig,
-    sessions: Vec<StreamSession>,
-    /// Ids of closed sessions whose rings await reuse by [`Self::open`].
-    free: Vec<usize>,
+    shards: Vec<Shard>,
+    /// Round-robin cursor for [`Self::open`] shard placement.
+    next_open: usize,
     metrics: EngineMetrics,
 }
 
@@ -139,6 +310,7 @@ impl<'a> StreamEngine<'a> {
         config: StreamConfig,
     ) -> Self {
         assert!(config.chunk >= 1, "chunk must be at least 1");
+        assert!(config.shards >= 1, "shards must be at least 1");
         assert_eq!(
             forecaster.nd,
             twin.solver.sensors.len(),
@@ -150,8 +322,8 @@ impl<'a> StreamEngine<'a> {
             bank: None,
             bank_sq_prefix: Vec::new(),
             config,
-            sessions: Vec::new(),
-            free: Vec::new(),
+            shards: (0..config.shards).map(|_| Shard::new()).collect(),
+            next_open: 0,
             metrics: EngineMetrics::default(),
         }
     }
@@ -165,7 +337,7 @@ impl<'a> StreamEngine<'a> {
             self.twin.n_data(),
             "bank and twin disagree on the data dimension"
         );
-        for s in &self.sessions {
+        for s in self.shards.iter().flat_map(|sh| &sh.sessions) {
             assert!(
                 s.samples() == 0,
                 "attach the bank before any samples arrive"
@@ -174,43 +346,56 @@ impl<'a> StreamEngine<'a> {
         // Resize every session's misfit accumulator in place (no
         // realloc when capacity suffices) instead of swapping in a
         // fresh vec per session.
-        self.sessions.iter_mut().for_each(|s| {
+        for s in self.shards.iter_mut().flat_map(|sh| &mut sh.sessions) {
             s.misfit.clear();
             s.misfit.resize(bank.len(), 0.0);
-        });
+        }
         self.bank_sq_prefix = identify::sq_prefix(bank.clean_observations());
         self.bank = Some(bank);
         self
     }
 
-    /// Open an observation session; returns its id. Reuses the ring and
-    /// misfit allocations of a previously [closed](Self::close) session
-    /// when one is available, so indefinite open/close service keeps a
-    /// fixed memory footprint (the high-water mark of concurrently open
-    /// sessions).
+    /// Open an observation session; returns its id. Shards are filled
+    /// round-robin (so a fresh engine hands out ids 0, 1, 2, … exactly
+    /// like the unsharded engine did), and a previously
+    /// [closed](Self::close) session's slot — ring and misfit allocations
+    /// included — is reused when the target shard has one, so indefinite
+    /// open/close service keeps a fixed memory footprint (the high-water
+    /// mark of concurrently open sessions).
     pub fn open(&mut self) -> usize {
+        let n = self.shards.len();
         let n_scen = self.bank.map_or(0, |b| b.len());
-        if let Some(id) = self.free.pop() {
-            self.sessions[id].reopen(n_scen);
-            return id;
-        }
-        let id = self.sessions.len();
+        let si = self.next_open % n;
+        self.next_open += 1;
         let nd = self.twin.solver.sensors.len();
-        self.sessions
-            .push(StreamSession::new(id, self.twin.n_data(), nd, n_scen));
+        let capacity = self.twin.n_data();
+        let shard = &mut self.shards[si];
+        if let Some(local) = shard.free.pop() {
+            shard.sessions[local].reopen(n_scen);
+            return shard.sessions[local].id;
+        }
+        let id = si + shard.sessions.len() * n;
+        shard
+            .sessions
+            .push(StreamSession::new(id, capacity, nd, n_scen));
         self.metrics.rings_allocated += 1;
         id
     }
 
     /// Close a session once its event is over: the slot (ring buffer and
-    /// misfit accumulator included) goes on the freelist and the next
-    /// [`Self::open`] reuses it. Closed sessions are skipped by every
-    /// tick stage; their last products stay readable until reuse.
+    /// misfit accumulator included) goes on its shard's freelist and a
+    /// later [`Self::open`] reuses it. Closed sessions are skipped by
+    /// every tick stage; their last products stay readable until reuse.
     pub fn close(&mut self, id: usize) {
-        let s = &mut self.sessions[id];
-        assert!(s.active, "close of already-closed session {id}");
-        s.active = false;
-        self.free.push(id);
+        let n = self.shards.len();
+        let shard = &mut self.shards[id % n];
+        let local = id / n;
+        assert!(
+            shard.sessions[local].active,
+            "close of already-closed session {id}"
+        );
+        shard.sessions[local].active = false;
+        shard.free.push(local);
     }
 
     /// Feed newly arrived samples (time-major continuation) into a
@@ -218,20 +403,41 @@ impl<'a> StreamEngine<'a> {
     /// whole burst. Returns how many samples were accepted (pushes past
     /// the event horizon are clamped).
     pub fn push(&mut self, id: usize, samples: &[f64]) -> usize {
-        assert!(self.sessions[id].active, "push into closed session {id}");
-        let accepted = self.sessions[id].ring.push(samples);
+        let n = self.shards.len();
+        let s = &mut self.shards[id % n].sessions[id / n];
+        assert!(s.active, "push into closed session {id}");
+        let accepted = s.ring.push(samples);
         self.metrics.samples_ingested += accepted;
         accepted
     }
 
-    /// Borrow a session.
-    pub fn session(&self, id: usize) -> &StreamSession {
-        &self.sessions[id]
+    /// Lock-free ingest: stage samples for a session with a single atomic
+    /// push onto its shard's inbox. Shared-reference, so any number of
+    /// producer threads can feed a shared engine concurrently; the
+    /// samples are folded into the session's ring at the start of the
+    /// next [`Self::tick`] (per shard, in arrival order). Samples for a
+    /// session that is closed by drain time are dropped; pushes past the
+    /// event horizon are clamped then, exactly as with [`Self::push`].
+    pub fn enqueue(&self, id: usize, samples: &[f64]) {
+        let n = self.shards.len();
+        self.shards[id % n].inbox.push(id, samples.to_vec());
     }
 
-    /// All sessions, id-ordered.
-    pub fn sessions(&self) -> &[StreamSession] {
-        &self.sessions
+    /// Borrow a session.
+    pub fn session(&self, id: usize) -> &StreamSession {
+        let n = self.shards.len();
+        &self.shards[id % n].sessions[id / n]
+    }
+
+    /// Session slots ever created (open and closed), across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|sh| sh.sessions.len()).sum()
+    }
+
+    /// Every session slot, shard-major order (not id order; use
+    /// [`StreamSession::id`] when identity matters).
+    pub fn sessions(&self) -> impl Iterator<Item = &StreamSession> {
+        self.shards.iter().flat_map(|sh| sh.sessions.iter())
     }
 
     /// Lifetime totals.
@@ -239,121 +445,72 @@ impl<'a> StreamEngine<'a> {
         &self.metrics
     }
 
+    /// Largest dense block each shard ever materialized (elements) — the
+    /// per-shard bounded-working-set record, indexed by shard.
+    pub fn shard_panel_peaks(&self) -> Vec<usize> {
+        self.shards.iter().map(|sh| sh.peak_panel_elems).collect()
+    }
+
     /// Forget every session's ladder position so the next [`Self::tick`]
     /// re-assimilates all of them from their current data. Replay /
     /// benchmarking support (identification scores are *not* reset — they
     /// are a pure function of the arrived samples).
     pub fn rewind(&mut self) {
-        for s in self.sessions.iter_mut().filter(|s| s.active) {
+        for s in self
+            .shards
+            .iter_mut()
+            .flat_map(|sh| &mut sh.sessions)
+            .filter(|s| s.active)
+        {
             s.window_idx = None;
         }
     }
 
     /// Process everything that arrived since the last tick (see the
-    /// [module docs](self) for the three stages).
+    /// [module docs](self) for the four stages). Shards tick
+    /// independently — in parallel across the persistent worker pool when
+    /// `shards > 1`, with one barrier at the end — and their partial
+    /// metrics are merged here.
     pub fn tick(&mut self) -> TickMetrics {
         let t0 = Instant::now();
+        let pool0 = rayon::pool_stats();
+        let ctx = TickCtx {
+            twin: self.twin,
+            forecaster: self.forecaster,
+            bank: self.bank,
+            sq_prefix: &self.bank_sq_prefix,
+            config: self.config,
+            n_shards: self.shards.len(),
+        };
+        if self.shards.len() > 1 {
+            self.shards
+                .par_iter_mut()
+                .for_each(|sh| tick_shard(sh, &ctx));
+        } else {
+            tick_shard(&mut self.shards[0], &ctx);
+        }
+        let pool1 = rayon::pool_stats();
+
         let mut m = TickMetrics::default();
-
-        // 1. Sequential identification of newly arrived samples: sessions
-        //    whose unscored range coincides (the common lockstep case) are
-        //    bucketed and scored by one grouped rows × scenarios GEMM, so
-        //    the bank's clean block is streamed once per tick rather than
-        //    once per session; stragglers fall back to a group of one.
-        if let Some(bank) = self.bank {
-            let clean = bank.clean_observations();
-            let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
-            for s in self.sessions.iter_mut().filter(|s| s.active) {
-                let filled = s.ring.filled();
-                if s.scored < filled {
-                    buckets.entry((s.scored, filled)).or_default().push(s);
-                }
-            }
-            for ((i0, i1), sessions) in buckets {
-                let mut group: Vec<(&[f64], &mut [f64])> = sessions
-                    .into_iter()
-                    .map(|s| {
-                        s.scored = i1;
-                        let StreamSession { ring, misfit, .. } = s;
-                        (ring.prefix(i1), &mut misfit[..])
-                    })
-                    .collect();
-                identify::score_group_gemm(clean, &self.bank_sq_prefix, i0, i1, &mut group);
-                m.samples_scored += (i1 - i0) * group.len();
-            }
+        for sh in &self.shards {
+            m.sessions_assimilated += sh.last.sessions_assimilated;
+            m.panels += sh.last.panels;
+            m.samples_scored += sh.last.samples_scored;
+            m.samples_drained += sh.last.samples_drained;
+            m.peak_panel_elems = m.peak_panel_elems.max(sh.last.peak_panel_elems);
         }
-
-        // 2. Group sessions that crossed a new rung, by rung index, then
-        //    assimilate each group in bounded chunks.
-        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (idx, s) in self.sessions.iter().enumerate().filter(|(_, s)| s.active) {
-            if let Some(w) = self.forecaster.window_for(s.steps()) {
-                if s.window_idx.is_none_or(|cur| w > cur) {
-                    groups.entry(w).or_default().push(idx);
-                }
-            }
-        }
-        for (w, members) in groups {
-            let k = self.forecaster.windows[w] * self.forecaster.nd;
-            for chunk in members.chunks(self.config.chunk) {
-                let b = chunk.len();
-                let mut panel = DMatrix::zeros(k, b);
-                for (c, &idx) in chunk.iter().enumerate() {
-                    for (r, &v) in self.sessions[idx].ring.prefix(k).iter().enumerate() {
-                        panel[(r, c)] = v;
-                    }
-                }
-                m.peak_panel_elems = m.peak_panel_elems.max(k * b);
-
-                let fc = self.forecaster.forecast_batch(w, &panel);
-                let inf = self.config.infer.then(|| {
-                    infer_window_batch(
-                        &self.twin.phase1,
-                        &self.twin.phase2,
-                        &panel,
-                        self.forecaster.windows[w],
-                    )
-                });
-                if let Some(inf) = &inf {
-                    // The windowed inference internally zero-pads the
-                    // panel to the full horizon (`(Nd·Nt) × b`) before the
-                    // FFT pass and returns an `(Nm·Nt) × b` block; both
-                    // are part of the tick's real working set.
-                    m.peak_panel_elems = m
-                        .peak_panel_elems
-                        .max(self.twin.n_data() * b)
-                        .max(inf.m_map.nrows() * b);
-                }
-
-                // 3. Scatter results + classify.
-                for (c, &idx) in chunk.iter().enumerate() {
-                    let s = &mut self.sessions[idx];
-                    let f = fc.scenario(c);
-                    s.level = classify_forecast(&f, self.config.warn_threshold);
-                    s.forecast = Some(f);
-                    if let Some(inf) = &inf {
-                        let norm = (0..inf.m_map.nrows())
-                            .map(|r| {
-                                let v = inf.m_map[(r, c)];
-                                v * v
-                            })
-                            .sum::<f64>()
-                            .sqrt();
-                        s.m_norm = Some(norm);
-                    }
-                    s.window_idx = Some(w);
-                }
-                m.panels += 1;
-                m.sessions_assimilated += b;
-            }
-        }
-
+        m.pool_jobs = pool1.jobs - pool0.jobs;
+        m.pool_handoffs = pool1.handoffs - pool0.handoffs;
         m.seconds = t0.elapsed().as_secs_f64();
+
         self.metrics.ticks += 1;
         self.metrics.assimilations += m.sessions_assimilated;
         self.metrics.panels += m.panels;
+        self.metrics.samples_ingested += m.samples_drained;
         self.metrics.seconds += m.seconds;
         self.metrics.peak_panel_elems = self.metrics.peak_panel_elems.max(m.peak_panel_elems);
+        self.metrics.pool_jobs += m.pool_jobs;
+        self.metrics.pool_handoffs += m.pool_handoffs;
         m
     }
 
@@ -367,7 +524,7 @@ impl<'a> StreamEngine<'a> {
             return Vec::new();
         };
         let sigma2 = bank.noise_std() * bank.noise_std();
-        let s = &self.sessions[id];
+        let s = self.session(id);
         let lls: Vec<f64> = s.misfit.iter().map(|&mis| -mis / (2.0 * sigma2)).collect();
         let ll_max = lls.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = lls.iter().map(|&ll| (ll - ll_max).exp()).collect();
@@ -385,6 +542,121 @@ impl<'a> StreamEngine<'a> {
         out.sort_by(|a, b| b.log_likelihood.total_cmp(&a.log_likelihood));
         out
     }
+}
+
+/// One shard's tick: drain the inbox, score, assimilate, classify — all
+/// against this shard's sessions only. Runs on a pool worker when the
+/// engine ticks shards in parallel (nested bulk operations inside the
+/// batched window math then stay serial on that worker), or inline on
+/// the caller for `shards = 1`.
+fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
+    let mut p = ShardTick::default();
+
+    // 1. Drain the lock-free inbox in arrival order. Batches for
+    //    sessions closed since enqueue are dropped; horizon clamping
+    //    happens in the ring exactly as for direct pushes.
+    for (id, samples) in shard.inbox.drain() {
+        let s = &mut shard.sessions[id / ctx.n_shards];
+        if s.active {
+            p.samples_drained += s.ring.push(&samples);
+        }
+    }
+
+    // 2. Sequential identification of newly arrived samples: sessions
+    //    whose unscored range coincides (the common lockstep case) are
+    //    bucketed and scored by one grouped rows × scenarios GEMM, so
+    //    the bank's clean block is streamed once per tick rather than
+    //    once per session; stragglers fall back to a group of one.
+    if let Some(bank) = ctx.bank {
+        let clean = bank.clean_observations();
+        let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
+        for s in shard.sessions.iter_mut().filter(|s| s.active) {
+            let filled = s.ring.filled();
+            if s.scored < filled {
+                buckets.entry((s.scored, filled)).or_default().push(s);
+            }
+        }
+        for ((i0, i1), sessions) in buckets {
+            let mut group: Vec<(&[f64], &mut [f64])> = sessions
+                .into_iter()
+                .map(|s| {
+                    s.scored = i1;
+                    let StreamSession { ring, misfit, .. } = s;
+                    (ring.prefix(i1), &mut misfit[..])
+                })
+                .collect();
+            identify::score_group_gemm(clean, ctx.sq_prefix, i0, i1, &mut group);
+            p.samples_scored += (i1 - i0) * group.len();
+        }
+    }
+
+    // 3. Group sessions that crossed a new rung, by rung index, then
+    //    assimilate each group in bounded chunks.
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, s) in shard.sessions.iter().enumerate().filter(|(_, s)| s.active) {
+        if let Some(w) = ctx.forecaster.window_for(s.steps()) {
+            if s.window_idx.is_none_or(|cur| w > cur) {
+                groups.entry(w).or_default().push(idx);
+            }
+        }
+    }
+    for (w, members) in groups {
+        let k = ctx.forecaster.windows[w] * ctx.forecaster.nd;
+        for chunk in members.chunks(ctx.config.chunk) {
+            let b = chunk.len();
+            let mut panel = DMatrix::zeros(k, b);
+            for (c, &idx) in chunk.iter().enumerate() {
+                for (r, &v) in shard.sessions[idx].ring.prefix(k).iter().enumerate() {
+                    panel[(r, c)] = v;
+                }
+            }
+            p.peak_panel_elems = p.peak_panel_elems.max(k * b);
+
+            let fc = ctx.forecaster.forecast_batch(w, &panel);
+            let inf = ctx.config.infer.then(|| {
+                infer_window_batch(
+                    &ctx.twin.phase1,
+                    &ctx.twin.phase2,
+                    &panel,
+                    ctx.forecaster.windows[w],
+                )
+            });
+            if let Some(inf) = &inf {
+                // The windowed inference internally zero-pads the
+                // panel to the full horizon (`(Nd·Nt) × b`) before the
+                // FFT pass and returns an `(Nm·Nt) × b` block; both
+                // are part of the tick's real working set.
+                p.peak_panel_elems = p
+                    .peak_panel_elems
+                    .max(ctx.twin.n_data() * b)
+                    .max(inf.m_map.nrows() * b);
+            }
+
+            // 4. Scatter results + classify.
+            for (c, &idx) in chunk.iter().enumerate() {
+                let s = &mut shard.sessions[idx];
+                let f = fc.scenario(c);
+                s.level = classify_forecast(&f, ctx.config.warn_threshold);
+                s.forecast = Some(f);
+                if let Some(inf) = &inf {
+                    let norm = (0..inf.m_map.nrows())
+                        .map(|r| {
+                            let v = inf.m_map[(r, c)];
+                            v * v
+                        })
+                        .sum::<f64>()
+                        .sqrt();
+                    s.m_norm = Some(norm);
+                }
+                s.window_idx = Some(w);
+            }
+            p.panels += 1;
+            p.sessions_assimilated += b;
+        }
+    }
+
+    shard.peak_panel_elems = shard.peak_panel_elems.max(p.peak_panel_elems);
+    shard.last = p;
 }
 
 /// Classify a forecast's 95% credible band against a wave-height
@@ -424,5 +696,22 @@ mod tests {
         assert_eq!(classify_forecast(&fc, 2.0), WarningLevel::AllClear);
         assert_eq!(classify_forecast(&fc, 1.1), WarningLevel::Watch);
         assert_eq!(classify_forecast(&fc, 0.5), WarningLevel::Warning);
+    }
+
+    #[test]
+    fn inbox_drains_fifo_and_frees_undrained_batches() {
+        let inbox = Inbox::new();
+        inbox.push(0, vec![1.0]);
+        inbox.push(3, vec![2.0, 3.0]);
+        inbox.push(0, vec![4.0]);
+        let drained = inbox.drain();
+        assert_eq!(
+            drained,
+            vec![(0, vec![1.0]), (3, vec![2.0, 3.0]), (0, vec![4.0])]
+        );
+        assert!(inbox.drain().is_empty());
+        // Left-over batches are reclaimed by Drop (checked under Miri-less
+        // builds simply by not leaking in the allocator-counting tests).
+        inbox.push(1, vec![5.0]);
     }
 }

@@ -20,7 +20,7 @@
 //! identification cheap when banks grow to 10³+ scenarios — the
 //! `bank_identification` bench measures the two paths against each other.
 
-use tsunami_linalg::vec_ops::{block_axpy, block_axpy2};
+use tsunami_linalg::vec_ops::{axpy, block_axpy, block_axpy2, block_axpy4};
 use tsunami_linalg::DMatrix;
 
 /// Prefix sums of the squared clean observations: row-major
@@ -61,6 +61,15 @@ pub fn score_samples_scalar(clean: &DMatrix, d_prefix: &[f64], scored: usize, mi
 /// stream in a group is scored against it, large enough to amortize the
 /// misfit-accumulator traffic (see [`score_group_gemm`]).
 const ROW_BLOCK: usize = 16;
+
+/// Scenario columns updated per pass of the cross-term GEMM. Banks up to
+/// this width run untiled (one tile spans the bank); at 10⁴-scenario
+/// banks the `B`-wide misfit accumulators and clean rows no longer fit
+/// in cache together, so the loop walks `COL_TILE`-wide column tiles and
+/// keeps the active clean tile plus four misfit tiles resident while a
+/// row block is consumed. 1024 columns × (4 misfit + `ROW_BLOCK` clean
+/// rows worth of tile) ≈ 160 KiB, comfortably inside L2.
+const COL_TILE: usize = 1024;
 
 /// Blocked GEMM scoring of one stream's newly arrived rows `[scored,
 /// d_prefix.len())` (see the [module docs](self)): one scalar data-energy
@@ -121,23 +130,65 @@ pub fn score_group_gemm(
             *m += dd + (h - l);
         }
     }
-    // Cross terms: row-blocks outer, streams inner (pairwise, so each
-    // loaded clean block feeds two misfit accumulators).
-    let mut j0 = i0;
-    while j0 < i1 {
-        let j1 = (j0 + ROW_BLOCK).min(i1);
-        let rows = &clean.as_slice()[j0 * b..j1 * b];
-        let mut chunks = group.chunks_mut(2);
-        for pair in &mut chunks {
-            match pair {
-                [(d0, m0), (d1, m1)] => {
-                    block_axpy2(-2.0, &d0[j0..j1], &d1[j0..j1], rows, b, m0, m1);
+    // Cross terms: column tiles outer (a single tile for banks up to
+    // COL_TILE scenarios wide), row blocks next, streams in *quads*
+    // inner — each loaded clean tile feeds four misfit accumulators
+    // ([`block_axpy4`]), halving the load traffic per accumulator again
+    // over the pairwise kernel. At 10⁴-scenario banks the tiling keeps
+    // the active clean tile and the four misfit tiles cache-resident
+    // instead of streaming full bank-width rows past cold accumulators.
+    let mut t0 = 0;
+    while t0 < b {
+        let t1 = (t0 + COL_TILE).min(b);
+        let w = t1 - t0;
+        let mut j0 = i0;
+        while j0 < i1 {
+            let j1 = (j0 + ROW_BLOCK).min(i1);
+            let rows = &clean.as_slice()[j0 * b + t0..(j1 - 1) * b + t1];
+            for quad in group.chunks_mut(4) {
+                match quad {
+                    [(d0, m0), (d1, m1), (d2, m2), (d3, m3)] => block_axpy4(
+                        -2.0,
+                        [&d0[j0..j1], &d1[j0..j1], &d2[j0..j1], &d3[j0..j1]],
+                        rows,
+                        b,
+                        w,
+                        [
+                            &mut m0[t0..t1],
+                            &mut m1[t0..t1],
+                            &mut m2[t0..t1],
+                            &mut m3[t0..t1],
+                        ],
+                    ),
+                    rest if w == b => {
+                        // Contiguous (untiled) remainder: the pairwise
+                        // and single-stream kernels apply directly.
+                        let mut pairs = rest.chunks_mut(2);
+                        for pair in &mut pairs {
+                            match pair {
+                                [(d0, m0), (d1, m1)] => {
+                                    block_axpy2(-2.0, &d0[j0..j1], &d1[j0..j1], rows, b, m0, m1);
+                                }
+                                [(d0, m0)] => block_axpy(-2.0, &d0[j0..j1], rows, b, m0),
+                                _ => unreachable!("chunks_mut(2) yields 1- or 2-element chunks"),
+                            }
+                        }
+                    }
+                    rest => {
+                        // Tiled remainder (< 4 streams of a wide bank):
+                        // per-row strided updates; at most 3 of a large
+                        // group, so the lost register blocking is noise.
+                        for (d, m) in rest.iter_mut() {
+                            for (r, &c) in d[j0..j1].iter().enumerate() {
+                                axpy(-2.0 * c, &rows[r * b..r * b + w], &mut m[t0..t1]);
+                            }
+                        }
+                    }
                 }
-                [(d0, m0)] => block_axpy(-2.0, &d0[j0..j1], rows, b, m0),
-                _ => unreachable!("chunks_mut(2) yields 1- or 2-element chunks"),
             }
+            j0 = j1;
         }
-        j0 = j1;
+        t0 = t1;
     }
 }
 
@@ -234,6 +285,39 @@ mod tests {
             score_samples_scalar(&c, &d[..i1], i0, &mut m_ref);
             for (a, r) in m.iter().zip(&m_ref) {
                 assert!((a - r).abs() < 1e-10 * r.max(1.0), "{a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_bank_straddling_col_tile_matches_scalar() {
+        // A bank wider than COL_TILE (with a ragged last tile) exercises
+        // the tiled quad path, the tiled sub-quad remainder (5 streams →
+        // one quad + one single), and the strided row slices; all must
+        // agree with the scalar oracle.
+        let (n, b, streams) = (19, COL_TILE + 37, 5);
+        let c = clean_block(n, b);
+        let p = sq_prefix(&c);
+        let ds: Vec<Vec<f64>> = (0..streams)
+            .map(|s| (0..n).map(|i| ((i + 5 * s) as f64 * 0.41).sin()).collect())
+            .collect();
+        let (i0, i1) = (2, n);
+
+        let mut mis: Vec<Vec<f64>> = vec![vec![0.0; b]; streams];
+        {
+            let mut group: Vec<(&[f64], &mut [f64])> = ds
+                .iter()
+                .zip(mis.iter_mut())
+                .map(|(d, m)| (&d[..], &mut m[..]))
+                .collect();
+            score_group_gemm(&c, &p, i0, i1, &mut group);
+        }
+
+        for (d, m) in ds.iter().zip(&mis) {
+            let mut m_ref = vec![0.0; b];
+            score_samples_scalar(&c, &d[..i1], i0, &mut m_ref);
+            for (j, (a, r)) in m.iter().zip(&m_ref).enumerate() {
+                assert!((a - r).abs() < 1e-10 * r.max(1.0), "col {j}: {a} vs {r}");
             }
         }
     }

@@ -15,11 +15,17 @@
 //! - [`StreamSession`] holds one stream's state: the time-major ring of
 //!   arrived sensor samples, its position on the window ladder, its
 //!   accumulated per-scenario misfit, and its latest forecast/warning.
-//! - [`StreamEngine`] accepts [`StreamEngine::push`] events and, on each
-//!   [`StreamEngine::tick`], groups every session that crossed the same
-//!   window boundary into a single batched window inference + forecast
-//!   (multi-RHS leading-block solves + one dense `Q_w · D` product),
-//!   instead of one factor traversal and one matvec per session.
+//! - [`StreamEngine`] accepts [`StreamEngine::push`] events (or lock-free
+//!   [`StreamEngine::enqueue`] calls from concurrent producer threads)
+//!   and, on each [`StreamEngine::tick`], groups every session that
+//!   crossed the same window boundary into a single batched window
+//!   inference + forecast (multi-RHS leading-block solves + one dense
+//!   `Q_w · D` product), instead of one factor traversal and one matvec
+//!   per session.
+//! - Sessions are sharded by id across [`StreamConfig::shards`] shards,
+//!   each with its own session table, freelist, and inbox; a tick fans
+//!   the shards out across the persistent rayon-shim worker pool with one
+//!   barrier per tick, and results are invariant in the shard count.
 //! - Sessions are assimilated in bounded panels of at most
 //!   [`StreamConfig::chunk`] columns, so the working set stays
 //!   `O(Nd·Nt · chunk)` no matter how many thousands of streams are live —
@@ -32,7 +38,8 @@
 //!   alongside a [`WarningLevel`] classification from the forecast's 95%
 //!   credible band that tightens the same way.
 //! - [`TickMetrics`] / [`EngineMetrics`] record per-tick latency,
-//!   throughput, and the peak materialized panel.
+//!   throughput, the peak materialized panel (per shard), and the
+//!   persistent-pool dispatch counters ([`rayon::pool_stats`] deltas).
 
 pub mod engine;
 pub mod identify;

@@ -332,7 +332,7 @@ fn closed_sessions_are_reused_without_new_allocations() {
     // ring allocations and fully reset state.
     let c = engine.open();
     let d = engine.open();
-    assert_eq!(engine.sessions().len(), 2, "no session-table growth");
+    assert_eq!(engine.session_count(), 2, "no session-table growth");
     assert_eq!(engine.metrics().rings_allocated, 2, "rings must be reused");
     assert!([a, b].contains(&c) && [a, b].contains(&d) && c != d);
     assert_eq!(engine.session(c).samples(), 0);
@@ -389,4 +389,131 @@ fn rewind_reassimilates_without_rescoring() {
     assert_eq!(t3.samples_scored, 0);
     let after = engine.session(id).forecast.as_ref().unwrap().q_map.clone();
     assert_eq!(before, after);
+}
+
+#[test]
+fn sharded_engine_is_invariant_in_the_shard_count() {
+    // The same interleaved streams through 1-, 2-, and 4-shard engines
+    // (ragged 3-sample pushes, a tick after every round) must produce
+    // identical ids, identification rankings, forecasts, and inference
+    // norms to ≤ 1e-10 — sharding is pure work partitioning.
+    let (twin, bank) = setup_bank(6, 77);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[2, nt / 2, nt]);
+    let n_sessions = bank.len();
+    let horizon = twin.n_data();
+
+    let run = |shards: usize| {
+        let cfg = StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&twin, &wf, cfg).with_bank(&bank);
+        let ids: Vec<usize> = (0..n_sessions).map(|_| engine.open()).collect();
+        let mut fed = 0;
+        while fed < horizon {
+            let hi = (fed + 3).min(horizon);
+            for (s, &id) in ids.iter().enumerate() {
+                engine.push(id, &bank.observations().col(s)[fed..hi]);
+            }
+            fed = hi;
+            engine.tick();
+        }
+        let products: Vec<(usize, Vec<f64>, f64, usize)> = ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    engine.session(id).forecast.as_ref().unwrap().q_map.clone(),
+                    engine.session(id).m_norm.unwrap(),
+                    engine.ranked_matches(id)[0].scenario,
+                )
+            })
+            .collect();
+        let totals = *engine.metrics();
+        (products, totals)
+    };
+
+    let (base, base_m) = run(1);
+    for shards in [2usize, 4] {
+        let (got, got_m) = run(shards);
+        for ((id_a, fc_a, n_a, top_a), (id_b, fc_b, n_b, top_b)) in base.iter().zip(&got) {
+            assert_eq!(id_a, id_b, "{shards}-shard ids must match 1-shard ids");
+            assert_eq!(top_a, top_b, "identification must be shard-invariant");
+            assert!(
+                rel_err(fc_b, fc_a) < 1e-10,
+                "forecast drift at {shards} shards"
+            );
+            assert!((n_a - n_b).abs() < 1e-10 * n_a.max(1e-12));
+        }
+        assert_eq!(got_m.assimilations, base_m.assimilations);
+        assert_eq!(got_m.samples_ingested, base_m.samples_ingested);
+        // Per-shard chunking can only shrink the largest panel.
+        assert!(got_m.peak_panel_elems <= base_m.peak_panel_elems);
+    }
+}
+
+#[test]
+fn lock_free_enqueue_from_threads_matches_direct_pushes() {
+    // Producer threads feeding a shared engine through the lock-free
+    // inboxes must yield the same per-session state as exclusive pushes:
+    // per-session FIFO is preserved because each producer owns one
+    // session, and the drain happens at tick start.
+    let (twin, bank) = setup_bank(4, 51);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt / 2, nt]);
+    let cfg = StreamConfig {
+        shards: 2,
+        ..StreamConfig::default()
+    };
+
+    let mut queued = StreamEngine::new(&twin, &wf, cfg).with_bank(&bank);
+    let mut direct = StreamEngine::new(&twin, &wf, cfg).with_bank(&bank);
+    let ids: Vec<usize> = (0..bank.len()).map(|_| queued.open()).collect();
+    for _ in 0..bank.len() {
+        direct.open();
+    }
+
+    std::thread::scope(|scope| {
+        for &id in &ids {
+            let engine = &queued;
+            let col = bank.observations().col(id);
+            scope.spawn(move || {
+                let mut fed = 0;
+                while fed < col.len() {
+                    let hi = (fed + 5).min(col.len());
+                    engine.enqueue(id, &col[fed..hi]);
+                    fed = hi;
+                }
+            });
+        }
+    });
+    let tq = queued.tick();
+    assert_eq!(tq.samples_drained, bank.len() * twin.n_data());
+    assert_eq!(queued.metrics().samples_ingested, tq.samples_drained);
+
+    for &id in &ids {
+        direct.push(id, &bank.observations().col(id));
+    }
+    direct.tick();
+
+    for &id in &ids {
+        assert_eq!(queued.session(id).samples(), direct.session(id).samples());
+        assert_eq!(
+            queued.ranked_matches(id)[0].scenario,
+            direct.ranked_matches(id)[0].scenario
+        );
+        let fq = &queued.session(id).forecast.as_ref().unwrap().q_map;
+        let fd = &direct.session(id).forecast.as_ref().unwrap().q_map;
+        assert!(
+            rel_err(fq, fd) < 1e-12,
+            "enqueue path drift on session {id}"
+        );
+    }
+
+    // Enqueues for a session closed before the next tick are dropped.
+    queued.enqueue(ids[0], &[9.0; 3]);
+    queued.close(ids[0]);
+    let t = queued.tick();
+    assert_eq!(t.samples_drained, 0, "late batch for closed session kept");
 }

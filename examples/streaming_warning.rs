@@ -66,6 +66,7 @@ fn main() {
         chunk: 4,
         warn_threshold: 1.0,
         infer: true,
+        ..StreamConfig::default()
     };
     let mut engine = StreamEngine::new(&twin, &forecaster, stream_cfg).with_bank(&bank);
     let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
