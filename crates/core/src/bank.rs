@@ -14,7 +14,9 @@ use crate::config::TwinConfig;
 use crate::event::SyntheticEvent;
 use crate::metrics::rel_l2;
 use crate::phase4::{ForecastBatch, InferenceBatch};
+use crate::pod::PodBank;
 use crate::twin::DigitalTwin;
+use tsunami_linalg::svd::SvdOptions;
 use tsunami_linalg::DMatrix;
 use tsunami_rupture::KinematicRupture;
 use tsunami_solver::WaveSolver;
@@ -208,6 +210,29 @@ impl ScenarioBank {
     /// (RMS of the per-scenario noise levels).
     pub fn noise_std(&self) -> f64 {
         self.noise_std
+    }
+
+    /// Compress the bank's clean observation block to `rank` POD modes
+    /// (randomized truncated SVD with default options — see
+    /// [`crate::pod::PodBank`]): left modes `U`, mode-space coefficients
+    /// `UᵀC`, and per-scenario residual energies. Mode-space
+    /// identification then scores misfits in `r × B` instead of
+    /// `(Nd·Nt) × B` per tick.
+    pub fn compress(&self, rank: usize) -> PodBank {
+        PodBank::from_clean_block(&self.d_clean, rank, SvdOptions::default())
+    }
+
+    /// Like [`Self::compress`], but picks the rank by an energy target:
+    /// the smallest rank (within `max_rank`) whose modes capture at least
+    /// `energy_frac` of the clean block's squared Frobenius energy.
+    pub fn compress_energy(&self, energy_frac: f64, max_rank: usize) -> PodBank {
+        let pod = self.compress(max_rank);
+        let r = pod.rank_for_energy(energy_frac);
+        if r == pod.rank() {
+            pod
+        } else {
+            PodBank::from_clean_block(&self.d_clean, r, SvdOptions::default())
+        }
     }
 
     /// Assimilate every scenario through the batched online path in one

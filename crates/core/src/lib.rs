@@ -54,6 +54,7 @@ pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod phase4;
+pub mod pod;
 pub mod posterior;
 pub mod stprior;
 pub mod twin;
@@ -70,6 +71,7 @@ pub use phase1::Phase1;
 pub use phase2::Phase2;
 pub use phase3::Phase3;
 pub use phase4::{Forecast, ForecastBatch, Inference, InferenceBatch};
+pub use pod::PodBank;
 pub use stprior::SpaceTimePrior;
 pub use twin::DigitalTwin;
 pub use window::{infer_window, infer_window_batch, WindowedForecaster};

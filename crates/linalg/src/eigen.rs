@@ -21,7 +21,7 @@ pub fn symmetric_eigenvalues(mut a: DMatrix, tol: f64, max_sweeps: usize) -> Vec
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                jacobi_rotate(&mut a, p, q);
+                jacobi_rotate(&mut a, p, q, None);
             }
         }
     }
@@ -30,8 +30,40 @@ pub fn symmetric_eigenvalues(mut a: DMatrix, tol: f64, max_sweeps: usize) -> Vec
     eig
 }
 
-/// One Jacobi rotation zeroing `a[p][q]` (and `a[q][p]`).
-fn jacobi_rotate(a: &mut DMatrix, p: usize, q: usize) {
+/// Full symmetric eigendecomposition `A = V Λ Vᵀ` by cyclic Jacobi:
+/// eigenvalues descending, with the matching orthonormal eigenvectors as
+/// the *columns* of the returned matrix. The rotations that diagonalize
+/// `A` are accumulated into `V` (`V ← V·J` per rotation), so `V` is
+/// orthogonal to the same tolerance the sweep converges to. This is what
+/// the randomized SVD ([`crate::svd`]) uses on its small Gram matrix.
+pub fn symmetric_eigen(mut a: DMatrix, tol: f64, max_sweeps: usize) -> (Vec<f64>, DMatrix) {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigen: square only");
+    let mut v = DMatrix::identity(n);
+    for _ in 0..max_sweeps {
+        let off = off_diag_norm(&a);
+        if off <= tol * a.norm_fro().max(1e-300) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                jacobi_rotate(&mut a, p, q, Some(&mut v));
+            }
+        }
+    }
+    // Sort eigenpairs descending by eigenvalue, permuting V's columns in
+    // lockstep with the diagonal.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag = a.diag();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).unwrap());
+    let eig: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vecs = DMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    (eig, vecs)
+}
+
+/// One Jacobi rotation zeroing `a[p][q]` (and `a[q][p]`), optionally
+/// accumulated into an eigenvector matrix `v` (`v ← v·J`).
+fn jacobi_rotate(a: &mut DMatrix, p: usize, q: usize, v: Option<&mut DMatrix>) {
     let apq = a[(p, q)];
     if apq.abs() < 1e-300 {
         return;
@@ -55,6 +87,14 @@ fn jacobi_rotate(a: &mut DMatrix, p: usize, q: usize) {
         let aqk = a[(q, k)];
         a[(p, k)] = c * apk - s * aqk;
         a[(q, k)] = s * apk + c * aqk;
+    }
+    if let Some(v) = v {
+        for k in 0..n {
+            let vkp = v[(k, p)];
+            let vkq = v[(k, q)];
+            v[(k, p)] = c * vkp - s * vkq;
+            v[(k, q)] = s * vkp + c * vkq;
+        }
     }
 }
 
@@ -142,6 +182,44 @@ mod tests {
         a.symmetrize();
         let e = symmetric_eigenvalues(a, 1e-14, 50);
         assert_eq!(effective_rank(&e, 1e-10), r);
+    }
+
+    #[test]
+    fn eigenvectors_reconstruct_and_are_orthonormal() {
+        let n = 18;
+        let mut s = 5u64;
+        let m = DMatrix::from_fn(n, n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut a = m.matmul_nt(&m);
+        a.symmetrize();
+        let (eig, v) = symmetric_eigen(a.clone(), 1e-14, 60);
+        assert!(eig.windows(2).all(|w| w[0] >= w[1]), "not descending");
+        // VᵀV = I.
+        let vtv = v.matmul_tn(&v);
+        let mut gram_err = vtv;
+        gram_err.add_scaled(-1.0, &DMatrix::identity(n));
+        assert!(gram_err.norm_fro() < 1e-10, "V not orthonormal");
+        // A v_j = λ_j v_j for every pair.
+        for j in 0..n {
+            let vj = v.col(j);
+            let mut av = vec![0.0; n];
+            a.matvec(&vj, &mut av);
+            for i in 0..n {
+                assert!(
+                    (av[i] - eig[j] * vj[i]).abs() < 1e-8 * eig[0].abs().max(1.0),
+                    "eigenpair {j} fails at row {i}"
+                );
+            }
+        }
+        // The eigenvalues must match the eigenvalue-only path.
+        let eig_only = symmetric_eigenvalues(a, 1e-14, 60);
+        for (x, y) in eig.iter().zip(&eig_only) {
+            assert!((x - y).abs() < 1e-9 * eig_only[0].abs().max(1.0));
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! - [`cg`]: preconditioned conjugate gradients (the state-of-the-art
 //!   baseline inversion algorithm of §IV of the paper),
 //! - [`random`]: seedable Gaussian sampling (Box–Muller) used for priors,
-//!   measurement noise, and randomized diagnostics.
+//!   measurement noise, and randomized diagnostics,
+//! - [`svd`]: randomized range finder + truncated SVD (the POD compressor
+//!   behind mode-space scenario identification).
 
 // Numeric kernels use index loops that mirror the tensor/math indices
 // of the discretizations; enumerate()-style rewrites obscure the formulas.
@@ -31,12 +33,14 @@ pub mod matrix;
 pub mod operator;
 pub mod random;
 pub mod rhs_panel;
+pub mod svd;
 pub mod vec_ops;
 
 pub use cg::{cg_solve, CgOptions, CgResult};
 pub use cholesky::Cholesky;
 pub use complex::C64;
-pub use eigen::{effective_rank, symmetric_eigenvalues};
+pub use eigen::{effective_rank, symmetric_eigen, symmetric_eigenvalues};
 pub use matrix::DMatrix;
 pub use operator::{DenseOperator, DiagonalOperator, IdentityOperator, LinearOperator};
 pub use rhs_panel::RhsPanel;
+pub use svd::{energy_rank, randomized_svd, SvdOptions, TruncatedSvd};

@@ -15,6 +15,12 @@
 //!    observation curves in one blocked `rows × scenarios` GEMM
 //!    ([`crate::identify::score_group_gemm`]), the sequential Bayesian
 //!    update of Nomura et al. (arXiv:2407.03631) at bank-scale cost.
+//!    With a [`PodBank`] attached and [`IdentifyBackend::ModeSpace`]
+//!    selected, the same update runs in POD mode space instead: new rows
+//!    fold into an `r`-dimensional running projection and all `B`
+//!    misfits are materialized from it at `r × B` cost — the ROM
+//!    identification of Fujita et al., with the exact path retained as
+//!    the oracle.
 //! 3. **Micro-batched assimilation** — sessions whose complete-step count
 //!    crossed a new rung of the window ladder are grouped *by rung* and
 //!    driven through one batched window inference + forecast per group
@@ -53,8 +59,28 @@ use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::time::Instant;
 use tsunami_core::window::infer_window_batch;
-use tsunami_core::{DigitalTwin, Forecast, ScenarioBank, WindowedForecaster};
+use tsunami_core::{
+    DigitalTwin, Forecast, ForecastBatch, PodBank, ScenarioBank, WindowedForecaster,
+};
 use tsunami_linalg::DMatrix;
+
+/// Which scenario-identification path a tick runs (see the
+/// [module docs](self)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IdentifyBackend {
+    /// Exact blocked GEMM against the full clean block
+    /// ([`crate::identify::score_group_gemm`]) — the oracle path.
+    #[default]
+    Exact,
+    /// POD mode-space identification: project arrived rows onto the
+    /// attached [`PodBank`]'s modes ([`crate::identify::project_group`]),
+    /// then materialize all `B` misfits from the `r`-dimensional
+    /// projection ([`crate::identify::score_group_pod`]). Per-tick
+    /// bank-width cost drops from `rows × B` to `rows × r + r × B`;
+    /// scores differ from exact by at most the per-scenario POD
+    /// truncation error. Requires [`StreamEngine::with_pod`].
+    ModeSpace,
+}
 
 /// Engine knobs.
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +97,10 @@ pub struct StreamConfig {
     /// Session shards ticked in parallel (see the [module docs](self)).
     /// Must be ≥ 1; 1 recovers the exact pre-shard sequential engine.
     pub shards: usize,
+    /// Scenario-identification backend ([`IdentifyBackend::Exact`] by
+    /// default; [`IdentifyBackend::ModeSpace`] needs an attached
+    /// [`PodBank`]).
+    pub identify: IdentifyBackend,
 }
 
 impl Default for StreamConfig {
@@ -80,6 +110,7 @@ impl Default for StreamConfig {
             warn_threshold: 0.1,
             infer: true,
             shards: 1,
+            identify: IdentifyBackend::Exact,
         }
     }
 }
@@ -162,6 +193,11 @@ pub struct EngineMetrics {
 struct InboxNode {
     /// Global session id the samples belong to.
     id: usize,
+    /// The session slot's generation at enqueue time. Checked at drain:
+    /// a batch whose slot has since been closed (and possibly reopened
+    /// for a *different* event under the same id) carries a stale
+    /// generation and is dropped instead of contaminating the new event.
+    generation: u64,
     samples: Vec<f64>,
     next: *mut InboxNode,
 }
@@ -192,9 +228,10 @@ impl Inbox {
     }
 
     /// Prepend one batch (lock-free, any thread).
-    fn push(&self, id: usize, samples: Vec<f64>) {
+    fn push(&self, id: usize, generation: u64, samples: Vec<f64>) {
         let node = Box::into_raw(Box::new(InboxNode {
             id,
+            generation,
             samples,
             next: ptr::null_mut(),
         }));
@@ -217,7 +254,7 @@ impl Inbox {
     }
 
     /// Detach everything enqueued so far and return it oldest-first.
-    fn drain(&self) -> Vec<(usize, Vec<f64>)> {
+    fn drain(&self) -> Vec<(usize, u64, Vec<f64>)> {
         let mut cur = self.head.swap(ptr::null_mut(), Ordering::Acquire);
         let mut out = Vec::new();
         while !cur.is_null() {
@@ -227,7 +264,7 @@ impl Inbox {
             #[allow(unsafe_code)]
             let node = unsafe { Box::from_raw(cur) };
             cur = node.next;
-            out.push((node.id, node.samples));
+            out.push((node.id, node.generation, node.samples));
         }
         out.reverse();
         out
@@ -282,6 +319,7 @@ struct TickCtx<'t> {
     twin: &'t DigitalTwin,
     forecaster: &'t WindowedForecaster,
     bank: Option<&'t ScenarioBank>,
+    pod: Option<&'t PodBank>,
     sq_prefix: &'t [f64],
     config: StreamConfig,
     n_shards: usize,
@@ -292,6 +330,8 @@ pub struct StreamEngine<'a> {
     twin: &'a DigitalTwin,
     forecaster: &'a WindowedForecaster,
     bank: Option<&'a ScenarioBank>,
+    /// POD compression of the attached bank (mode-space identification).
+    pod: Option<&'a PodBank>,
     /// Prefix sums of the bank's squared clean observations
     /// ([`identify::sq_prefix`]), computed once at attach time.
     bank_sq_prefix: Vec<f64>,
@@ -320,6 +360,7 @@ impl<'a> StreamEngine<'a> {
             twin,
             forecaster,
             bank: None,
+            pod: None,
             bank_sq_prefix: Vec::new(),
             config,
             shards: (0..config.shards).map(|_| Shard::new()).collect(),
@@ -355,6 +396,55 @@ impl<'a> StreamEngine<'a> {
         self
     }
 
+    /// Attach a POD compression of the bank, enabling
+    /// [`IdentifyBackend::ModeSpace`] ticks. Must agree with the attached
+    /// bank in shape (call [`Self::with_bank`] first). Every session gains
+    /// an `r`-dimensional running projection; the exact path stays
+    /// available as the oracle via [`StreamConfig::identify`].
+    pub fn with_pod(mut self, pod: &'a PodBank) -> Self {
+        let bank = self
+            .bank
+            .expect("attach the bank (with_bank) before with_pod");
+        assert_eq!(
+            pod.modes().nrows(),
+            self.twin.n_data(),
+            "POD modes and twin disagree on the data dimension"
+        );
+        assert_eq!(
+            pod.len(),
+            bank.len(),
+            "POD compression and bank disagree on the scenario count"
+        );
+        for s in self.shards.iter().flat_map(|sh| &sh.sessions) {
+            assert!(
+                s.samples() == 0,
+                "attach the POD bank before any samples arrive"
+            );
+        }
+        let r = pod.rank();
+        for s in self.shards.iter_mut().flat_map(|sh| &mut sh.sessions) {
+            s.pod_coeff.clear();
+            s.pod_coeff.resize(r, 0.0);
+        }
+        self.pod = Some(pod);
+        self
+    }
+
+    /// Map a session id to its `(shard, local slot)`, panicking with the
+    /// offending id and shard when the id was never handed out by
+    /// [`Self::open`] — out-of-range and foreign ids fail loudly here
+    /// instead of indexing into an unrelated slot.
+    fn locate(&self, id: usize, op: &str) -> (usize, usize) {
+        let n = self.shards.len();
+        let (si, local) = (id % n, id / n);
+        let slots = self.shards[si].sessions.len();
+        assert!(
+            local < slots,
+            "{op}: unknown session id {id} (shard {si} of {n} holds {slots} slots)"
+        );
+        (si, local)
+    }
+
     /// Open an observation session; returns its id. Shards are filled
     /// round-robin (so a fresh engine hands out ids 0, 1, 2, … exactly
     /// like the unsharded engine did), and a previously
@@ -365,19 +455,20 @@ impl<'a> StreamEngine<'a> {
     pub fn open(&mut self) -> usize {
         let n = self.shards.len();
         let n_scen = self.bank.map_or(0, |b| b.len());
+        let n_modes = self.pod.map_or(0, |p| p.rank());
         let si = self.next_open % n;
         self.next_open += 1;
         let nd = self.twin.solver.sensors.len();
         let capacity = self.twin.n_data();
         let shard = &mut self.shards[si];
         if let Some(local) = shard.free.pop() {
-            shard.sessions[local].reopen(n_scen);
+            shard.sessions[local].reopen(n_scen, n_modes);
             return shard.sessions[local].id;
         }
         let id = si + shard.sessions.len() * n;
         shard
             .sessions
-            .push(StreamSession::new(id, capacity, nd, n_scen));
+            .push(StreamSession::new(id, capacity, nd, n_scen, n_modes));
         self.metrics.rings_allocated += 1;
         id
     }
@@ -386,15 +477,17 @@ impl<'a> StreamEngine<'a> {
     /// misfit accumulator included) goes on its shard's freelist and a
     /// later [`Self::open`] reuses it. Closed sessions are skipped by
     /// every tick stage; their last products stay readable until reuse.
+    /// Closing bumps the slot's generation, which invalidates any inbox
+    /// batches still staged for the closed event (see [`Self::enqueue`]).
     pub fn close(&mut self, id: usize) {
-        let n = self.shards.len();
-        let shard = &mut self.shards[id % n];
-        let local = id / n;
+        let (si, local) = self.locate(id, "close");
+        let shard = &mut self.shards[si];
         assert!(
             shard.sessions[local].active,
             "close of already-closed session {id}"
         );
         shard.sessions[local].active = false;
+        shard.sessions[local].generation += 1;
         shard.free.push(local);
     }
 
@@ -403,8 +496,8 @@ impl<'a> StreamEngine<'a> {
     /// whole burst. Returns how many samples were accepted (pushes past
     /// the event horizon are clamped).
     pub fn push(&mut self, id: usize, samples: &[f64]) -> usize {
-        let n = self.shards.len();
-        let s = &mut self.shards[id % n].sessions[id / n];
+        let (si, local) = self.locate(id, "push");
+        let s = &mut self.shards[si].sessions[local];
         assert!(s.active, "push into closed session {id}");
         let accepted = s.ring.push(samples);
         self.metrics.samples_ingested += accepted;
@@ -415,18 +508,26 @@ impl<'a> StreamEngine<'a> {
     /// push onto its shard's inbox. Shared-reference, so any number of
     /// producer threads can feed a shared engine concurrently; the
     /// samples are folded into the session's ring at the start of the
-    /// next [`Self::tick`] (per shard, in arrival order). Samples for a
-    /// session that is closed by drain time are dropped; pushes past the
-    /// event horizon are clamped then, exactly as with [`Self::push`].
+    /// next [`Self::tick`] (per shard, in arrival order).
+    ///
+    /// Each batch is stamped with the session slot's generation at
+    /// enqueue time and dropped at drain if the generations no longer
+    /// match — that covers both a session that is simply closed by drain
+    /// time *and* a slot that was closed and already reopened for a new
+    /// event under the same id (the staged samples belong to the old
+    /// event and must not leak into the new one). Pushes past the event
+    /// horizon are clamped at drain, exactly as with [`Self::push`].
     pub fn enqueue(&self, id: usize, samples: &[f64]) {
-        let n = self.shards.len();
-        self.shards[id % n].inbox.push(id, samples.to_vec());
+        let (si, local) = self.locate(id, "enqueue");
+        let shard = &self.shards[si];
+        let generation = shard.sessions[local].generation;
+        shard.inbox.push(id, generation, samples.to_vec());
     }
 
     /// Borrow a session.
     pub fn session(&self, id: usize) -> &StreamSession {
-        let n = self.shards.len();
-        &self.shards[id % n].sessions[id / n]
+        let (si, local) = self.locate(id, "session");
+        &self.shards[si].sessions[local]
     }
 
     /// Session slots ever created (open and closed), across all shards.
@@ -474,10 +575,15 @@ impl<'a> StreamEngine<'a> {
     pub fn tick(&mut self) -> TickMetrics {
         let t0 = Instant::now();
         let pool0 = rayon::pool_stats();
+        assert!(
+            self.config.identify == IdentifyBackend::Exact || self.pod.is_some(),
+            "mode-space identification requires an attached PodBank (with_pod)"
+        );
         let ctx = TickCtx {
             twin: self.twin,
             forecaster: self.forecaster,
             bank: self.bank,
+            pod: self.pod,
             sq_prefix: &self.bank_sq_prefix,
             config: self.config,
             n_shards: self.shards.len(),
@@ -542,6 +648,79 @@ impl<'a> StreamEngine<'a> {
         out.sort_by(|a, b| b.log_likelihood.total_cmp(&a.log_likelihood));
         out
     }
+
+    /// Posterior-weighted scenario **superposition forecast** for a
+    /// session: mix the bank's precomputed per-scenario forecasts under
+    /// the session's identification posterior
+    /// ([`superpose_forecasts`] over [`Self::ranked_matches`]).
+    /// `bank_forecasts` holds one forecast column per bank scenario
+    /// (e.g. [`tsunami_core::WindowedForecaster::forecast_batch`] on the
+    /// bank's clean observations). Falls back to the identification
+    /// posterior as-is — works under both identification backends.
+    pub fn superposed_forecast(&self, id: usize, bank_forecasts: &ForecastBatch) -> Forecast {
+        let bank = self
+            .bank
+            .expect("superposed forecast requires an attached bank");
+        assert_eq!(
+            bank_forecasts.q_map.ncols(),
+            bank.len(),
+            "bank forecasts and bank disagree on the scenario count"
+        );
+        let matches = self.ranked_matches(id);
+        superpose_forecasts(&matches, bank_forecasts)
+    }
+}
+
+/// Posterior-weighted superposition of scenario forecasts (the
+/// multi-scenario forecast blend of Fujita et al., arXiv:2407.03631):
+///
+/// ```text
+///   q_mix = Σ_j p_j q_j,
+///   var   = σ_w² + Σ_j p_j q_j² − q_mix²,
+/// ```
+///
+/// the mixture mean and the law-of-total-variance spread — within-scenario
+/// forecast variance `σ_w²` (shared across the bank's columns) plus the
+/// *between-scenario* variance of the posterior-weighted ensemble. When
+/// the posterior is a point mass the mixture collapses to that scenario's
+/// forecast exactly; when identification is still ambiguous the
+/// between-scenario term widens the credible band to span the competing
+/// scenarios — an honest forecast *before* identification has converged,
+/// and a better one than any single best-fit scenario for events that lie
+/// between bank members.
+pub fn superpose_forecasts(matches: &[ScenarioMatch], bank_forecasts: &ForecastBatch) -> Forecast {
+    assert!(!matches.is_empty(), "superposition of an empty match list");
+    let t0 = Instant::now();
+    let nq = bank_forecasts.q_map.nrows();
+    let mut q_mix = vec![0.0; nq];
+    let mut second = vec![0.0; nq];
+    for m in matches {
+        let p = m.probability;
+        if p == 0.0 {
+            continue;
+        }
+        assert!(
+            m.scenario < bank_forecasts.q_map.ncols(),
+            "match references scenario {} outside the forecast batch",
+            m.scenario
+        );
+        for i in 0..nq {
+            let q = bank_forecasts.q_map[(i, m.scenario)];
+            q_mix[i] += p * q;
+            second[i] += p * q * q;
+        }
+    }
+    let q_std = (0..nq)
+        .map(|i| {
+            let between = (second[i] - q_mix[i] * q_mix[i]).max(0.0);
+            (bank_forecasts.q_std[i] * bank_forecasts.q_std[i] + between).sqrt()
+        })
+        .collect();
+    Forecast {
+        q_map: q_mix,
+        q_std,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// One shard's tick: drain the inbox, score, assimilate, classify — all
@@ -552,23 +731,25 @@ impl<'a> StreamEngine<'a> {
 fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
     let mut p = ShardTick::default();
 
-    // 1. Drain the lock-free inbox in arrival order. Batches for
-    //    sessions closed since enqueue are dropped; horizon clamping
-    //    happens in the ring exactly as for direct pushes.
-    for (id, samples) in shard.inbox.drain() {
+    // 1. Drain the lock-free inbox in arrival order. Batches whose
+    //    generation stamp no longer matches their slot — the session was
+    //    closed, or closed *and reopened for a new event*, since enqueue
+    //    — are dropped; horizon clamping happens in the ring exactly as
+    //    for direct pushes.
+    for (id, generation, samples) in shard.inbox.drain() {
         let s = &mut shard.sessions[id / ctx.n_shards];
-        if s.active {
+        if s.active && s.generation == generation {
             p.samples_drained += s.ring.push(&samples);
         }
     }
 
     // 2. Sequential identification of newly arrived samples: sessions
     //    whose unscored range coincides (the common lockstep case) are
-    //    bucketed and scored by one grouped rows × scenarios GEMM, so
-    //    the bank's clean block is streamed once per tick rather than
-    //    once per session; stragglers fall back to a group of one.
+    //    bucketed and scored together, so the shared operand (clean
+    //    block, or POD basis + coefficients) is streamed once per tick
+    //    rather than once per session; stragglers fall back to a group
+    //    of one.
     if let Some(bank) = ctx.bank {
-        let clean = bank.clean_observations();
         let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
         for s in shard.sessions.iter_mut().filter(|s| s.active) {
             let filled = s.ring.filled();
@@ -576,17 +757,66 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
                 buckets.entry((s.scored, filled)).or_default().push(s);
             }
         }
-        for ((i0, i1), sessions) in buckets {
-            let mut group: Vec<(&[f64], &mut [f64])> = sessions
-                .into_iter()
-                .map(|s| {
-                    s.scored = i1;
-                    let StreamSession { ring, misfit, .. } = s;
-                    (ring.prefix(i1), &mut misfit[..])
-                })
-                .collect();
-            identify::score_group_gemm(clean, ctx.sq_prefix, i0, i1, &mut group);
-            p.samples_scored += (i1 - i0) * group.len();
+        match ctx.config.identify {
+            IdentifyBackend::Exact => {
+                // One grouped rows × scenarios GEMM per bucket against
+                // the full clean block; misfits accumulate per range.
+                let clean = bank.clean_observations();
+                for ((i0, i1), sessions) in buckets {
+                    let mut group: Vec<(&[f64], &mut [f64])> = sessions
+                        .into_iter()
+                        .map(|s| {
+                            s.scored = i1;
+                            let StreamSession { ring, misfit, .. } = s;
+                            (ring.prefix(i1), &mut misfit[..])
+                        })
+                        .collect();
+                    identify::score_group_gemm(clean, ctx.sq_prefix, i0, i1, &mut group);
+                    p.samples_scored += (i1 - i0) * group.len();
+                }
+            }
+            IdentifyBackend::ModeSpace => {
+                // Two grouped passes per bucket: fold the new rows into
+                // each session's running projection a = Uᵀd (and data
+                // energy ‖d‖², compensated), then materialize all B
+                // misfits from the r-dimensional projection — the
+                // bank-width work shrinks from rows × B to r × B.
+                let pod = ctx
+                    .pod
+                    .expect("mode-space tick without an attached PodBank");
+                for ((i0, i1), mut sessions) in buckets {
+                    {
+                        let mut proj: Vec<(&[f64], &mut [f64])> = sessions
+                            .iter_mut()
+                            .map(|s| {
+                                s.scored = i1;
+                                let StreamSession {
+                                    ring, pod_coeff, ..
+                                } = &mut **s;
+                                (ring.prefix(i1), &mut pod_coeff[..])
+                            })
+                            .collect();
+                        identify::project_group(pod.modes(), i0, i1, &mut proj);
+                    }
+                    for s in sessions.iter_mut() {
+                        s.accumulate_energy(i0, i1);
+                    }
+                    let mut score: Vec<(f64, &[f64], &mut [f64])> = sessions
+                        .iter_mut()
+                        .map(|s| {
+                            let StreamSession {
+                                data_energy,
+                                pod_coeff,
+                                misfit,
+                                ..
+                            } = &mut **s;
+                            (*data_energy, &pod_coeff[..], &mut misfit[..])
+                        })
+                        .collect();
+                    identify::score_group_pod(pod.mode_coeffs(), ctx.sq_prefix, i1, &mut score);
+                    p.samples_scored += (i1 - i0) * sessions.len();
+                }
+            }
         }
     }
 
@@ -701,17 +931,69 @@ mod tests {
     #[test]
     fn inbox_drains_fifo_and_frees_undrained_batches() {
         let inbox = Inbox::new();
-        inbox.push(0, vec![1.0]);
-        inbox.push(3, vec![2.0, 3.0]);
-        inbox.push(0, vec![4.0]);
+        inbox.push(0, 0, vec![1.0]);
+        inbox.push(3, 1, vec![2.0, 3.0]);
+        inbox.push(0, 0, vec![4.0]);
         let drained = inbox.drain();
         assert_eq!(
             drained,
-            vec![(0, vec![1.0]), (3, vec![2.0, 3.0]), (0, vec![4.0])]
+            vec![(0, 0, vec![1.0]), (3, 1, vec![2.0, 3.0]), (0, 0, vec![4.0])]
         );
         assert!(inbox.drain().is_empty());
         // Left-over batches are reclaimed by Drop (checked under Miri-less
         // builds simply by not leaking in the allocator-counting tests).
-        inbox.push(1, vec![5.0]);
+        inbox.push(1, 0, vec![5.0]);
+    }
+
+    #[test]
+    fn point_mass_superposition_collapses_to_the_single_forecast() {
+        // With the whole posterior on one scenario the mixture mean is
+        // that scenario's forecast and the between-scenario variance
+        // vanishes, so the band equals the single-scenario band exactly.
+        let batch = ForecastBatch {
+            q_map: DMatrix::from_fn(3, 4, |i, j| (i + 1) as f64 * 0.5 + j as f64),
+            q_std: vec![0.2, 0.3, 0.4],
+            seconds: 0.0,
+        };
+        let matches: Vec<ScenarioMatch> = (0..4)
+            .map(|j| ScenarioMatch {
+                scenario: j,
+                log_likelihood: if j == 2 { 0.0 } else { -1e9 },
+                probability: if j == 2 { 1.0 } else { 0.0 },
+            })
+            .collect();
+        let mix = superpose_forecasts(&matches, &batch);
+        let single = batch.scenario(2);
+        for i in 0..3 {
+            assert!((mix.q_map[i] - single.q_map[i]).abs() < 1e-12);
+            assert!((mix.q_std[i] - single.q_std[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_scenario_superposition_widens_the_band() {
+        // An even split between two scenarios must land the mean halfway
+        // and inflate the std by the between-scenario spread.
+        let batch = ForecastBatch {
+            q_map: DMatrix::from_fn(1, 2, |_, j| if j == 0 { 1.0 } else { 3.0 }),
+            q_std: vec![0.1],
+            seconds: 0.0,
+        };
+        let matches = [
+            ScenarioMatch {
+                scenario: 0,
+                log_likelihood: 0.0,
+                probability: 0.5,
+            },
+            ScenarioMatch {
+                scenario: 1,
+                log_likelihood: 0.0,
+                probability: 0.5,
+            },
+        ];
+        let mix = superpose_forecasts(&matches, &batch);
+        assert!((mix.q_map[0] - 2.0).abs() < 1e-12);
+        // var = 0.1² + (0.5·1 + 0.5·9 − 4) = 0.01 + 1.0
+        assert!((mix.q_std[0] - 1.01f64.sqrt()).abs() < 1e-12);
     }
 }

@@ -28,14 +28,26 @@ use tsunami_linalg::DMatrix;
 /// energy of any row range `[i0, i1)` is the `B`-vector
 /// `out[i1·B..] − out[i0·B..]`. One extra pass over the bank at attach
 /// time buys an O(B) range lookup per scoring call.
+///
+/// The running sums are compensated (Kahan): the naive recurrence
+/// `out[i+1] = out[i] + c²` accumulates one rounding error per row, so at
+/// `10⁴`-row horizons a tail-range lookup could drift by `O(n·ulp)` of
+/// the *total* energy — swamping small tail energies entirely once the
+/// head rows dominate. The compensation term re-injects each step's lost
+/// low-order bits, keeping every stored prefix correctly rounded (error
+/// ≤ a few ulps of the true sum, independent of `n`).
 pub fn sq_prefix(clean: &DMatrix) -> Vec<f64> {
     let (n, b) = (clean.nrows(), clean.ncols());
     let mut out = vec![0.0; (n + 1) * b];
+    let mut comp = vec![0.0; b];
     for i in 0..n {
         let row = clean.row(i);
         let (lo, hi) = out[i * b..(i + 2) * b].split_at_mut(b);
         for (j, (h, &l)) in hi.iter_mut().zip(lo.iter()).enumerate() {
-            *h = l + row[j] * row[j];
+            let y = row[j] * row[j] - comp[j];
+            let t = l + y;
+            comp[j] = (t - l) - y;
+            *h = t;
         }
     }
     out
@@ -130,13 +142,35 @@ pub fn score_group_gemm(
             *m += dd + (h - l);
         }
     }
-    // Cross terms: column tiles outer (a single tile for banks up to
-    // COL_TILE scenarios wide), row blocks next, streams in *quads*
-    // inner — each loaded clean tile feeds four misfit accumulators
-    // ([`block_axpy4`]), halving the load traffic per accumulator again
-    // over the pairwise kernel. At 10⁴-scenario banks the tiling keeps
-    // the active clean tile and the four misfit tiles cache-resident
-    // instead of streaming full bank-width rows past cold accumulators.
+    block_cross(-2.0, clean, i0, i1, group);
+}
+
+/// The shared blocked cross-term kernel: for every `(coeffs, acc)` pair
+/// in `group`, `acc[·] += alpha · Σ_{i ∈ [i0, i1)} coeffs[i] · mat[i, ·]`
+/// — a `streams × rows × cols` GEMM with `mat` streamed once per row
+/// block for the whole group.
+///
+/// Column tiles run outer (a single tile for matrices up to [`COL_TILE`]
+/// wide), row blocks next, streams in *quads* inner — each loaded tile of
+/// `mat` feeds four accumulators ([`block_axpy4`]), halving the load
+/// traffic per accumulator again over the pairwise kernel. At
+/// 10⁴-column widths the tiling keeps the active tile and the four
+/// accumulator tiles cache-resident instead of streaming full-width rows
+/// past cold accumulators.
+///
+/// Both identification paths are instances of this kernel: the exact path
+/// drives it with the clean block and per-stream sample prefixes
+/// ([`score_group_gemm`]); the POD path drives it with the mode basis
+/// ([`project_group`]) and with the mode-coefficient block
+/// ([`score_group_pod`]).
+fn block_cross(
+    alpha: f64,
+    mat: &DMatrix,
+    i0: usize,
+    i1: usize,
+    group: &mut [(&[f64], &mut [f64])],
+) {
+    let b = mat.ncols();
     let mut t0 = 0;
     while t0 < b {
         let t1 = (t0 + COL_TILE).min(b);
@@ -144,11 +178,11 @@ pub fn score_group_gemm(
         let mut j0 = i0;
         while j0 < i1 {
             let j1 = (j0 + ROW_BLOCK).min(i1);
-            let rows = &clean.as_slice()[j0 * b + t0..(j1 - 1) * b + t1];
+            let rows = &mat.as_slice()[j0 * b + t0..(j1 - 1) * b + t1];
             for quad in group.chunks_mut(4) {
                 match quad {
                     [(d0, m0), (d1, m1), (d2, m2), (d3, m3)] => block_axpy4(
-                        -2.0,
+                        alpha,
                         [&d0[j0..j1], &d1[j0..j1], &d2[j0..j1], &d3[j0..j1]],
                         rows,
                         b,
@@ -167,20 +201,20 @@ pub fn score_group_gemm(
                         for pair in &mut pairs {
                             match pair {
                                 [(d0, m0), (d1, m1)] => {
-                                    block_axpy2(-2.0, &d0[j0..j1], &d1[j0..j1], rows, b, m0, m1);
+                                    block_axpy2(alpha, &d0[j0..j1], &d1[j0..j1], rows, b, m0, m1);
                                 }
-                                [(d0, m0)] => block_axpy(-2.0, &d0[j0..j1], rows, b, m0),
+                                [(d0, m0)] => block_axpy(alpha, &d0[j0..j1], rows, b, m0),
                                 _ => unreachable!("chunks_mut(2) yields 1- or 2-element chunks"),
                             }
                         }
                     }
                     rest => {
-                        // Tiled remainder (< 4 streams of a wide bank):
+                        // Tiled remainder (< 4 streams of a wide matrix):
                         // per-row strided updates; at most 3 of a large
                         // group, so the lost register blocking is noise.
                         for (d, m) in rest.iter_mut() {
                             for (r, &c) in d[j0..j1].iter().enumerate() {
-                                axpy(-2.0 * c, &rows[r * b..r * b + w], &mut m[t0..t1]);
+                                axpy(alpha * c, &rows[r * b..r * b + w], &mut m[t0..t1]);
                             }
                         }
                     }
@@ -190,6 +224,70 @@ pub fn score_group_gemm(
         }
         t0 = t1;
     }
+}
+
+/// Incremental mode-space projection of a group's newly arrived rows:
+/// for every `(d_prefix, a)` pair, `a += U[i0..i1, ·]ᵀ · d[i0..i1]` — the
+/// running projection `a = Uᵀd` of the POD identification path, updated
+/// per drained row range. Valid incrementally because the low-rank
+/// substitution `C ≈ U·W` holds row-wise (see
+/// [`tsunami_core::PodBank`]), so the projection over
+/// the arrived prefix is exactly the sum of per-range contributions.
+///
+/// Cost is `streams × rows × r` with `r` the retained rank — the same
+/// microkernels as the exact GEMM, with the `r`-wide mode accumulator
+/// standing in for the `B`-wide misfit row.
+pub fn project_group(u: &DMatrix, i0: usize, i1: usize, group: &mut [(&[f64], &mut [f64])]) {
+    assert!(i1 <= u.nrows(), "more samples than mode rows");
+    if i0 >= i1 || group.is_empty() {
+        return;
+    }
+    for (d_prefix, a) in group.iter() {
+        assert!(d_prefix.len() >= i1, "stream shorter than projected range");
+        assert_eq!(a.len(), u.ncols(), "projection width vs rank");
+    }
+    block_cross(1.0, u, i0, i1, group);
+}
+
+/// Mode-space misfit *materialization* for a group of streams scored
+/// through `[0, i1)`: each stream's `B`-wide misfit is overwritten with
+///
+/// ```text
+///   mis_j = ‖d‖²  −  2 aᵀ w_j  +  ‖c_j‖²,
+/// ```
+///
+/// where `a` is the stream's running projection (`dd` its running data
+/// energy), `w_j` the `j`-th column of the `r × B` coefficient block
+/// `W = UᵀC`, and `‖c_j‖²` the *exact* clean energy from the same prefix
+/// sums the exact path uses. Unlike the exact path's per-range
+/// accumulation, the POD score is recomputed from the full projection
+/// every pass — `a` already summarizes all arrived rows, so the
+/// `streams × r × B` cross term is the entire bank-width cost per tick.
+pub fn score_group_pod(
+    coeffs: &DMatrix,
+    sq_prefix: &[f64],
+    i1: usize,
+    group: &mut [(f64, &[f64], &mut [f64])],
+) {
+    let (r, b) = (coeffs.nrows(), coeffs.ncols());
+    assert!(
+        sq_prefix.len() >= (i1 + 1) * b,
+        "sq_prefix shorter than scored range"
+    );
+    if group.is_empty() {
+        return;
+    }
+    let hi = &sq_prefix[i1 * b..(i1 + 1) * b];
+    for (dd, a, misfit) in group.iter_mut() {
+        assert_eq!(a.len(), r, "projection width vs rank");
+        assert_eq!(misfit.len(), b, "misfit width");
+        for (m, &h) in misfit.iter_mut().zip(hi) {
+            *m = *dd + h;
+        }
+    }
+    let mut cross: Vec<(&[f64], &mut [f64])> =
+        group.iter_mut().map(|(_, a, m)| (*a, &mut m[..])).collect();
+    block_cross(-2.0, coeffs, 0, r, &mut cross);
 }
 
 #[cfg(test)]
@@ -318,6 +416,202 @@ mod tests {
             score_samples_scalar(&c, &d[..i1], i0, &mut m_ref);
             for (j, (a, r)) in m.iter().zip(&m_ref).enumerate() {
                 assert!((a - r).abs() < 1e-10 * r.max(1.0), "col {j}: {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sq_prefix_survives_long_horizons_against_the_scalar_oracle() {
+        // Adversarial long-horizon bank: one huge head row (energy ~1e16)
+        // followed by 10⁴ small rows whose squares (< 1 ulp of the running
+        // sum) are individually *rounded away* by the naive recurrence —
+        // under naive prefix sums the tail-range lookup collapses to
+        // exactly zero and the GEMM path's clean-energy term loses the
+        // entire tail. The compensated sums keep every prefix correctly
+        // rounded, so the GEMM score over the tail range must still agree
+        // with the freshly-summed scalar oracle.
+        let (head, tail, b) = (1usize, 10_000usize, 3usize);
+        let n = head + tail;
+        let c = DMatrix::from_fn(n, b, |i, j| {
+            if i < head {
+                1.0e8
+            } else {
+                0.9 + 0.01 * j as f64 + 1e-3 * ((i * 31 + j) % 7) as f64
+            }
+        });
+        let p = sq_prefix(&c);
+        let d: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * ((i % 11) as f64)).collect();
+        let (i0, i1) = (head, n);
+
+        // The stored prefixes live at ~1e16 where 1 ulp = 2.0, so the
+        // floor for *any* single-f64 prefix representation is a few units
+        // absolute — that floor, not the tail size, is the right yardstick.
+        let floor = 4.0 * (1.0e16f64).next_up() - 4.0 * 1.0e16; // 4 ulps at head-energy scale
+
+        // (a) The prefix-sum tail lookup recovers the tail energy to the
+        // representation floor; the naive recurrence instead returns
+        // exactly 0 for the whole ~8·10³ tail (each 0.8-ish square is
+        // below 1 ulp of the running sum and rounds away).
+        for j in 0..b {
+            let exact_tail: f64 = (i0..i1).map(|i| c[(i, j)] * c[(i, j)]).sum();
+            let lookup = p[i1 * b + j] - p[i0 * b + j];
+            let err = (lookup - exact_tail).abs();
+            assert!(
+                err < floor,
+                "col {j}: tail energy lost, lookup {lookup} vs exact {exact_tail} (err {err:e})"
+            );
+        }
+
+        // (b) End to end, the GEMM score over the tail range agrees with
+        // the freshly-summed scalar oracle to the same floor.
+        let mut oracle = vec![0.0; b];
+        score_samples_scalar(&c, &d, i0, &mut oracle);
+        let mut gemm = vec![0.0; b];
+        score_samples_gemm(&c, &p, &d, i0, &mut gemm);
+        for j in 0..b {
+            let err = (gemm[j] - oracle[j]).abs();
+            assert!(
+                err < floor,
+                "col {j}: tail-range prefix drift, gemm {} vs oracle {} (err {err:e})",
+                gemm[j],
+                oracle[j]
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_projection_matches_one_shot() {
+        // project_group over uneven row ranges must accumulate to the
+        // same Uᵀd as a single dense pass — the row-wise validity of the
+        // mode-space substitution.
+        let (n, r, streams) = (53, 7, 5);
+        let u = DMatrix::from_fn(n, r, |i, k| ((i * 3 + 11 * k) as f64 * 0.19).sin());
+        let ds: Vec<Vec<f64>> = (0..streams)
+            .map(|s| (0..n).map(|i| ((i + 17 * s) as f64 * 0.23).cos()).collect())
+            .collect();
+
+        let mut incr: Vec<Vec<f64>> = vec![vec![0.0; r]; streams];
+        let mut scored = 0;
+        for step in [1usize, 4, 9, 2, 16].iter().cycle() {
+            if scored == n {
+                break;
+            }
+            let next = (scored + step).min(n);
+            let mut group: Vec<(&[f64], &mut [f64])> = ds
+                .iter()
+                .zip(incr.iter_mut())
+                .map(|(d, a)| (&d[..], &mut a[..]))
+                .collect();
+            project_group(&u, scored, next, &mut group);
+            scored = next;
+        }
+
+        for (s, (d, a)) in ds.iter().zip(&incr).enumerate() {
+            for k in 0..r {
+                let exact: f64 = (0..n).map(|i| d[i] * u[(i, k)]).sum();
+                assert!(
+                    (a[k] - exact).abs() < 1e-10 * exact.abs().max(1.0),
+                    "stream {s} mode {k}: {} vs {exact}",
+                    a[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pod_score_with_full_rank_basis_matches_exact_gemm() {
+        // With an orthonormal basis spanning the full row space (r = n),
+        // W = UᵀC loses nothing and the mode-space misfit must equal the
+        // exact misfit to roundoff, for a group of streams at a partial
+        // horizon.
+        let (n, b, streams) = (24, 13, 5);
+        let c = clean_block(n, b);
+        let p = sq_prefix(&c);
+        // Identity basis: trivially orthonormal, W = C.
+        let u = DMatrix::from_fn(n, n, |i, k| if i == k { 1.0 } else { 0.0 });
+        let w = u.matmul_tn(&c);
+        let ds: Vec<Vec<f64>> = (0..streams)
+            .map(|s| (0..n).map(|i| ((i + 7 * s) as f64 * 0.37).sin()).collect())
+            .collect();
+        let i1 = 19; // partial horizon, not ROW_BLOCK-aligned
+
+        // Mode-space path: project the prefix, then materialize scores.
+        // Rows past i1 must not contribute: zero-extend instead of
+        // projecting them.
+        let mut proj: Vec<Vec<f64>> = vec![vec![0.0; n]; streams];
+        {
+            let mut group: Vec<(&[f64], &mut [f64])> = ds
+                .iter()
+                .zip(proj.iter_mut())
+                .map(|(d, a)| (&d[..], &mut a[..]))
+                .collect();
+            project_group(&u, 0, i1, &mut group);
+        }
+        let mut pod_mis: Vec<Vec<f64>> = vec![vec![9.9; b]; streams]; // stale values must be overwritten
+        {
+            let mut group: Vec<(f64, &[f64], &mut [f64])> = ds
+                .iter()
+                .zip(proj.iter())
+                .zip(pod_mis.iter_mut())
+                .map(|((d, a), m)| {
+                    let dd: f64 = d[..i1].iter().map(|v| v * v).sum();
+                    (dd, &a[..], &mut m[..])
+                })
+                .collect();
+            score_group_pod(&w, &p, i1, &mut group);
+        }
+
+        for (s, (d, m)) in ds.iter().zip(&pod_mis).enumerate() {
+            let mut exact = vec![0.0; b];
+            score_samples_scalar(&c, &d[..i1], 0, &mut exact);
+            for j in 0..b {
+                assert!(
+                    (m[j] - exact[j]).abs() < 1e-9 * exact[j].max(1.0),
+                    "stream {s} scenario {j}: pod {} vs exact {}",
+                    m[j],
+                    exact[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pod_score_over_wide_bank_straddles_col_tile() {
+        // A coefficient block wider than COL_TILE exercises the tiled
+        // quad and sub-quad remainder paths of the shared cross-term
+        // kernel under the POD driver.
+        let (n, b, streams) = (12, COL_TILE + 21, 6);
+        let c = clean_block(n, b);
+        let p = sq_prefix(&c);
+        let u = DMatrix::from_fn(n, n, |i, k| if i == k { 1.0 } else { 0.0 });
+        let w = u.matmul_tn(&c);
+        let ds: Vec<Vec<f64>> = (0..streams)
+            .map(|s| (0..n).map(|i| ((i + 3 * s) as f64 * 0.53).cos()).collect())
+            .collect();
+
+        let mut pod_mis: Vec<Vec<f64>> = vec![vec![0.0; b]; streams];
+        {
+            let mut group: Vec<(f64, &[f64], &mut [f64])> = ds
+                .iter()
+                .zip(pod_mis.iter_mut())
+                .map(|(d, m)| {
+                    let dd: f64 = d.iter().map(|v| v * v).sum();
+                    (dd, &d[..], &mut m[..])
+                })
+                .collect();
+            score_group_pod(&w, &p, n, &mut group);
+        }
+
+        for (s, (d, m)) in ds.iter().zip(&pod_mis).enumerate() {
+            let mut exact = vec![0.0; b];
+            score_samples_scalar(&c, d, 0, &mut exact);
+            for j in 0..b {
+                assert!(
+                    (m[j] - exact[j]).abs() < 1e-9 * exact[j].max(1.0),
+                    "stream {s} scenario {j}: pod {} vs exact {}",
+                    m[j],
+                    exact[j]
+                );
             }
         }
     }

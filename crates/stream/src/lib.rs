@@ -37,6 +37,19 @@
 //!   ([`ScenarioMatch`]) whose posterior sharpens as the window grows,
 //!   alongside a [`WarningLevel`] classification from the forecast's 95%
 //!   credible band that tightens the same way.
+//! - With a [`tsunami_core::PodBank`] also attached
+//!   ([`StreamEngine::with_pod`]) and [`IdentifyBackend::ModeSpace`]
+//!   selected, identification runs in POD mode space: arrived rows fold
+//!   into an `r`-dimensional running projection and all `B` misfits are
+//!   materialized at `r × B` cost per tick
+//!   ([`identify::project_group`] / [`identify::score_group_pod`]), with
+//!   the exact GEMM kept as the oracle path. The identification
+//!   posterior also drives a Fujita-style posterior-weighted
+//!   **superposition forecast** ([`superpose_forecasts`] /
+//!   [`StreamEngine::superposed_forecast`]) that mixes the bank's
+//!   precomputed forecasts — honest credible bands while identification
+//!   is still ambiguous, and better point forecasts than any single
+//!   best-fit scenario for events between bank members.
 //! - [`TickMetrics`] / [`EngineMetrics`] record per-tick latency,
 //!   throughput, the peak materialized panel (per shard), and the
 //!   persistent-pool dispatch counters ([`rayon::pool_stats`] deltas).
@@ -45,5 +58,8 @@ pub mod engine;
 pub mod identify;
 pub mod session;
 
-pub use engine::{EngineMetrics, ScenarioMatch, StreamConfig, StreamEngine, TickMetrics};
+pub use engine::{
+    superpose_forecasts, EngineMetrics, IdentifyBackend, ScenarioMatch, StreamConfig, StreamEngine,
+    TickMetrics,
+};
 pub use session::{SampleRing, StreamSession, WarningLevel};

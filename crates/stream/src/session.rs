@@ -105,8 +105,23 @@ pub struct StreamSession {
     /// Samples already folded into the sequential scenario scores.
     pub(crate) scored: usize,
     /// Per-scenario accumulated squared misfit `Σ (d_i − s_ji)²` over the
-    /// scored samples (empty when no bank is attached).
+    /// scored samples (empty when no bank is attached). Under mode-space
+    /// identification this is *materialized* (overwritten) from the
+    /// running projection each scoring pass instead of accumulated.
     pub(crate) misfit: Vec<f64>,
+    /// Running POD projection `a = Uᵀd` over the scored samples (empty
+    /// unless a [`tsunami_core::PodBank`] is attached).
+    pub(crate) pod_coeff: Vec<f64>,
+    /// Running data energy `‖d‖²` over the scored samples, with its Kahan
+    /// compensation term — accumulated across ticks, so compensated for
+    /// the same long-horizon reason as the clean-energy prefix sums.
+    pub(crate) data_energy: f64,
+    pub(crate) data_energy_comp: f64,
+    /// Slot generation, bumped every close. Inbox batches are stamped
+    /// with the generation current at enqueue time and dropped at drain
+    /// on mismatch, so a batch staged for a closed event can never leak
+    /// into the next event reusing the slot (and its id).
+    pub(crate) generation: u64,
     /// Latest windowed forecast (with credible intervals).
     pub forecast: Option<Forecast>,
     /// `‖m_map‖₂` of the latest windowed inference.
@@ -119,7 +134,13 @@ pub struct StreamSession {
 }
 
 impl StreamSession {
-    pub(crate) fn new(id: usize, capacity: usize, nd: usize, n_scenarios: usize) -> Self {
+    pub(crate) fn new(
+        id: usize,
+        capacity: usize,
+        nd: usize,
+        n_scenarios: usize,
+        n_modes: usize,
+    ) -> Self {
         StreamSession {
             id,
             ring: SampleRing::new(capacity),
@@ -127,6 +148,10 @@ impl StreamSession {
             window_idx: None,
             scored: 0,
             misfit: vec![0.0; n_scenarios],
+            pod_coeff: vec![0.0; n_modes],
+            data_energy: 0.0,
+            data_energy_comp: 0.0,
+            generation: 0,
             forecast: None,
             m_norm: None,
             level: WarningLevel::AllClear,
@@ -136,18 +161,42 @@ impl StreamSession {
 
     /// Reset a closed session for a fresh event, reusing the ring and
     /// misfit allocations instead of allocating new ones — the freelist
-    /// half of the engine's session-eviction story.
-    pub(crate) fn reopen(&mut self, n_scenarios: usize) {
+    /// half of the engine's session-eviction story. The generation is
+    /// deliberately *not* reset: it was bumped at close, and keeping the
+    /// new value is what invalidates inbox batches staged for the old
+    /// event under the same id.
+    pub(crate) fn reopen(&mut self, n_scenarios: usize, n_modes: usize) {
         debug_assert!(!self.active, "reopen of an open session");
         self.ring.clear();
         self.window_idx = None;
         self.scored = 0;
         self.misfit.clear();
         self.misfit.resize(n_scenarios, 0.0);
+        self.pod_coeff.clear();
+        self.pod_coeff.resize(n_modes, 0.0);
+        self.data_energy = 0.0;
+        self.data_energy_comp = 0.0;
         self.forecast = None;
         self.m_norm = None;
         self.level = WarningLevel::AllClear;
         self.active = true;
+    }
+
+    /// Fold ring rows `[i0, i1)` into the running data energy `‖d‖²`
+    /// (compensated accumulation — see the field docs).
+    pub(crate) fn accumulate_energy(&mut self, i0: usize, i1: usize) {
+        let StreamSession {
+            ring,
+            data_energy,
+            data_energy_comp,
+            ..
+        } = self;
+        for &v in &ring.prefix(i1)[i0..i1] {
+            let y = v * v - *data_energy_comp;
+            let t = *data_energy + y;
+            *data_energy_comp = (t - *data_energy) - y;
+            *data_energy = t;
+        }
     }
 
     /// True while the session is open (not returned to the freelist).
@@ -164,6 +213,13 @@ impl StreamSession {
     /// Total samples arrived so far.
     pub fn samples(&self) -> usize {
         self.ring.filled()
+    }
+
+    /// Per-scenario squared misfit over the scored samples (empty when no
+    /// bank is attached). Exact accumulation or mode-space
+    /// materialization, depending on the engine's identification backend.
+    pub fn misfit_scores(&self) -> &[f64] {
+        &self.misfit
     }
 
     /// Ladder index of the widest window assimilated so far (`None`
@@ -198,7 +254,7 @@ mod tests {
 
     #[test]
     fn session_counts_complete_steps_only() {
-        let mut s = StreamSession::new(0, 12, 4, 0);
+        let mut s = StreamSession::new(0, 12, 4, 0, 0);
         s.ring.push(&[0.5; 6]);
         assert_eq!(s.samples(), 6);
         assert_eq!(s.steps(), 1, "partial second step must not count");

@@ -6,7 +6,7 @@
 
 use tsunami_core::window::infer_window;
 use tsunami_core::{DigitalTwin, ScenarioBank, TwinConfig};
-use tsunami_stream::{identify, StreamConfig, StreamEngine, WarningLevel};
+use tsunami_stream::{identify, IdentifyBackend, StreamConfig, StreamEngine, WarningLevel};
 
 fn rel_err(a: &[f64], b: &[f64]) -> f64 {
     let num: f64 = a
@@ -516,4 +516,212 @@ fn lock_free_enqueue_from_threads_matches_direct_pushes() {
     queued.close(ids[0]);
     let t = queued.tick();
     assert_eq!(t.samples_drained, 0, "late batch for closed session kept");
+}
+
+#[test]
+fn stale_inbox_batch_does_not_contaminate_a_reused_slot() {
+    // Regression: enqueue → close → open reuses the slot with the *same*
+    // id and marks it active again, so without the generation tag the
+    // next tick's drain would fold the old event's staged samples into
+    // the new session — defeating the documented "dropped if closed by
+    // drain time" guard.
+    let (twin, bank) = setup_bank(2, 11);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default()).with_bank(&bank);
+    let id = engine.open();
+
+    // Stage samples for the first event, then end it before any tick
+    // drains them.
+    engine.enqueue(id, &[0.25; 6]);
+    engine.close(id);
+
+    // A new event reuses the slot: same id, fresh generation.
+    let reused = engine.open();
+    assert_eq!(reused, id, "slot must be reused with the same id");
+    let t = engine.tick();
+    assert_eq!(t.samples_drained, 0, "stale batch accepted at drain");
+    assert_eq!(
+        engine.session(reused).samples(),
+        0,
+        "old event's staged samples contaminated the reused session"
+    );
+
+    // Batches enqueued for the *new* generation are still accepted.
+    engine.enqueue(reused, &[0.5; 4]);
+    let t2 = engine.tick();
+    assert_eq!(t2.samples_drained, 4);
+    assert_eq!(engine.session(reused).samples(), 4);
+}
+
+#[test]
+fn mode_space_identification_matches_exact_within_truncation_bound() {
+    // Drive the same event through the exact and mode-space backends (3
+    // samples per push, tick after every push) and compare final misfits.
+    // At full rank the two must agree to roundoff; at a truncated rank
+    // the gap is bounded by the Cauchy–Schwarz truncation bound
+    // |mis_pod − mis_exact| = |2 dᵀ(I−UUᵀ)c_j| ≤ 2‖d‖·√residual_j.
+    // Shard counts 1 and 4 must agree bit-for-bit in ranking behavior.
+    let (twin, bank) = setup_bank(6, 21);
+    let nt = twin.solver.grid.nt_obs;
+    let d_full = bank.clean_observations().col(2);
+
+    let run = |shards: usize, pod: Option<&tsunami_core::PodBank>| {
+        let wf = twin.windowed(&[nt]);
+        let config = StreamConfig {
+            shards,
+            identify: if pod.is_some() {
+                IdentifyBackend::ModeSpace
+            } else {
+                IdentifyBackend::Exact
+            },
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&twin, &wf, config).with_bank(&bank);
+        if let Some(p) = pod {
+            engine = engine.with_pod(p);
+        }
+        let id = engine.open();
+        let mut fed = 0;
+        while fed < d_full.len() {
+            let hi = (fed + 3).min(d_full.len());
+            engine.push(id, &d_full[fed..hi]);
+            fed = hi;
+            engine.tick();
+        }
+        (
+            engine.session(id).misfit_scores().to_vec(),
+            engine.ranked_matches(id)[0].scenario,
+        )
+    };
+
+    let (exact, exact_top) = run(1, None);
+    assert_eq!(exact_top, 2, "exact path must rank the true scenario first");
+    let d_norm = d_full.iter().map(|v| v * v).sum::<f64>().sqrt();
+    // Both paths evaluate near-zero misfits by cancelling O(‖d‖²)
+    // energies, so roundoff slack scales with the energy, not the misfit.
+    let slack = 1e-8 * (d_norm * d_norm).max(1.0);
+
+    for shards in [1usize, 4] {
+        // Full-rank basis: mode space loses nothing.
+        let full = bank.compress(bank.len().min(twin.n_data()));
+        let (pod_mis, top) = run(shards, Some(&full));
+        assert_eq!(
+            top, 2,
+            "{shards}-shard full-rank pod must rank scenario 2 first"
+        );
+        for (j, (p, e)) in pod_mis.iter().zip(&exact).enumerate() {
+            assert!(
+                (p - e).abs() < slack.max(1e-7 * e.abs()),
+                "{shards} shards, scenario {j}: full-rank pod {p} vs exact {e}"
+            );
+        }
+
+        // Truncated basis: gap within the analytic bound (with roundoff
+        // slack), and the true scenario still ranked first.
+        let trunc = bank.compress(3);
+        let (pod_mis, top) = run(shards, Some(&trunc));
+        assert_eq!(
+            top, 2,
+            "{shards}-shard truncated pod must rank scenario 2 first"
+        );
+        for (j, (p, e)) in pod_mis.iter().zip(&exact).enumerate() {
+            let bound = 2.0 * d_norm * trunc.residual_energy()[j].sqrt() + slack;
+            assert!(
+                (p - e).abs() <= bound,
+                "{shards} shards, scenario {j}: |{p} − {e}| exceeds truncation bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn superposed_forecast_collapses_to_best_fit_on_an_in_bank_event() {
+    // Feeding a bank scenario's own clean curve drives the posterior to a
+    // point mass, so the posterior-weighted superposition must equal that
+    // scenario's precomputed forecast — under both identification
+    // backends.
+    let (twin, bank) = setup_bank(4, 33);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let w_last = wf.windows.len() - 1;
+    let bank_fc = wf.forecast_batch(w_last, bank.clean_observations());
+    let truth = 1usize;
+    let d_full = bank.clean_observations().col(truth);
+
+    let pod = bank.compress(4);
+    for backend in [IdentifyBackend::Exact, IdentifyBackend::ModeSpace] {
+        let config = StreamConfig {
+            identify: backend,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&twin, &wf, config)
+            .with_bank(&bank)
+            .with_pod(&pod);
+        let id = engine.open();
+        engine.push(id, &d_full);
+        engine.tick();
+
+        let top = &engine.ranked_matches(id)[0];
+        assert_eq!(top.scenario, truth);
+        assert!(
+            top.probability > 1.0 - 1e-9,
+            "{backend:?}: posterior should be a point mass, got {}",
+            top.probability
+        );
+        let mix = engine.superposed_forecast(id, &bank_fc);
+        let single = bank_fc.scenario(truth);
+        assert!(
+            rel_err(&mix.q_map, &single.q_map) < 1e-9,
+            "{backend:?}: superposition drifted from the best-fit forecast"
+        );
+        for (m, s) in mix.q_std.iter().zip(&single.q_std) {
+            assert!(
+                (m - s).abs() < 1e-9,
+                "{backend:?}: band widened at a point mass"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "close: unknown session id")]
+fn close_of_a_foreign_id_panics_with_context() {
+    let (twin, _bank) = setup_bank(1, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default());
+    engine.open();
+    engine.close(17);
+}
+
+#[test]
+#[should_panic(expected = "push: unknown session id")]
+fn push_into_an_out_of_range_id_panics_with_context() {
+    let (twin, _bank) = setup_bank(1, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let mut engine = StreamEngine::new(&twin, &wf, StreamConfig::default());
+    engine.open();
+    engine.push(3, &[1.0]);
+}
+
+#[test]
+#[should_panic(expected = "session: unknown session id")]
+fn session_lookup_of_an_unknown_id_panics_with_context() {
+    let (twin, _bank) = setup_bank(1, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let engine = StreamEngine::new(&twin, &wf, StreamConfig::default());
+    engine.session(42);
+}
+
+#[test]
+#[should_panic(expected = "enqueue: unknown session id")]
+fn enqueue_for_an_unknown_id_panics_with_context() {
+    let (twin, _bank) = setup_bank(1, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let engine = StreamEngine::new(&twin, &wf, StreamConfig::default());
+    engine.enqueue(9, &[1.0]);
 }

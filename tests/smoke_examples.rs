@@ -166,3 +166,67 @@ fn streaming_warning_flow(config: TwinConfig) {
     let bound = twin.n_data().max(twin.n_params()) * stream_cfg.chunk;
     assert!(em.peak_panel_elems <= bound);
 }
+
+#[test]
+fn pod_superposition_example_flow_runs_to_completion_on_tiny_config() {
+    // Mirrors examples/pod_superposition.rs: POD-compress the bank,
+    // identify an off-bank blend event in mode space, and check the
+    // posterior-weighted superposition beats the best-fit forecast.
+    let config = TwinConfig::tiny();
+    let specs = ScenarioBank::family(&config, 6, 13);
+    let solver = config.build_solver();
+    let bank = ScenarioBank::generate(&config, &solver, &specs);
+    drop(solver);
+    let twin = DigitalTwin::offline(config, bank.noise_std());
+    let nt = twin.solver.grid.nt_obs;
+    let forecaster = twin.windowed(&[nt]);
+    let bank_fc =
+        forecaster.forecast_batch(forecaster.windows.len() - 1, bank.clean_observations());
+
+    let pod = bank.compress_energy(0.9999, bank.len());
+    assert!(pod.rank() >= 1 && pod.rank() <= bank.len());
+    assert!(pod.captured_energy() >= 0.9999 || pod.rank() == bank.len());
+
+    // Off-bank event: even blend of two bank scenarios.
+    let (a, b) = (1usize, 4usize);
+    let ca = bank.clean_observations().col(a);
+    let cb = bank.clean_observations().col(b);
+    let d_event: Vec<f64> = ca.iter().zip(&cb).map(|(x, y)| 0.5 * (x + y)).collect();
+    let fa = bank_fc.scenario(a);
+    let fb = bank_fc.scenario(b);
+    let q_truth: Vec<f64> = fa
+        .q_map
+        .iter()
+        .zip(&fb.q_map)
+        .map(|(x, y)| 0.5 * (x + y))
+        .collect();
+
+    let stream_cfg = StreamConfig {
+        identify: IdentifyBackend::ModeSpace,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(&twin, &forecaster, stream_cfg)
+        .with_bank(&bank)
+        .with_pod(&pod);
+    let id = engine.open();
+    engine.push(id, &d_event);
+    engine.tick();
+
+    // The posterior must split between the two blend parents.
+    let matches = engine.ranked_matches(id);
+    let parents = [matches[0].scenario, matches[1].scenario];
+    assert!(parents.contains(&a) && parents.contains(&b));
+    assert!((matches[0].probability - 0.5).abs() < 0.05);
+
+    // Superposition must beat best-fit against the blended truth.
+    let best_fit = bank_fc.scenario(matches[0].scenario);
+    let mix = engine.superposed_forecast(id, &bank_fc);
+    assert!(mix.q_map.iter().all(|v| v.is_finite()));
+    assert!(mix.q_std.iter().all(|v| v.is_finite() && *v >= 0.0));
+    let err_best = rel_l2(&best_fit.q_map, &q_truth);
+    let err_mix = rel_l2(&mix.q_map, &q_truth);
+    assert!(
+        err_mix < 0.1 * err_best,
+        "superposition ({err_mix}) should decisively beat best-fit ({err_best})"
+    );
+}
