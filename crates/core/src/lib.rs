@@ -47,6 +47,7 @@ pub mod baseline;
 pub mod config;
 pub mod event;
 pub mod evidence;
+pub mod goal;
 pub mod lti;
 pub mod metrics;
 pub mod oed;
@@ -65,6 +66,7 @@ pub use baseline::{solve_map_cg, HessianOperator};
 pub use config::{BathymetryKind, TwinConfig};
 pub use event::SyntheticEvent;
 pub use evidence::{calibrate_noise, log_bayes_factor, log_evidence};
+pub use goal::{GoalLadder, GoalOptions, GoalRung};
 pub use lti::{build_maps, LtiBayesEngine, LtiModel};
 pub use oed::{greedy_design, Criterion, OedCandidates, SensorDesign};
 pub use phase1::Phase1;

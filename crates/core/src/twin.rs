@@ -84,6 +84,19 @@ impl DigitalTwin {
         crate::window::WindowedForecaster::build(&self.phase1, &self.phase2, &self.phase3, windows)
     }
 
+    /// Precompute the goal-oriented factored ladder for a window ladder:
+    /// per-rung data-to-QoI operators `T_w ≈ L_w R_wᵀ` so online
+    /// forecasting is folds and small GEMMs with no factor walk at all
+    /// (see [`crate::goal`]). With [`crate::goal::GoalOptions::exact`]
+    /// the ladder bit-matches [`Self::windowed`]'s forecasts.
+    pub fn goal_ladder(
+        &self,
+        windows: &[usize],
+        opts: &crate::goal::GoalOptions,
+    ) -> crate::goal::GoalLadder {
+        crate::goal::GoalLadder::build(&self.phase1, &self.phase2, &self.phase3, windows, opts)
+    }
+
     /// Pointwise posterior std of final displacement (Fig 3e analogue).
     pub fn displacement_uncertainty(&self) -> Vec<f64> {
         crate::posterior::displacement_std(

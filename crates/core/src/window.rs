@@ -43,34 +43,10 @@ impl WindowedForecaster {
     /// must be positive.
     pub fn build(p1: &Phase1, p2: &Phase2, p3: &Phase3, windows: &[usize]) -> Self {
         let nd = p1.f.out_dim;
-        let nt = p1.f.nt;
-        let mut ws: Vec<usize> = windows
-            .iter()
-            .map(|&w| {
-                assert!(w > 0, "window length must be positive");
-                w.min(nt)
-            })
-            .collect();
-        ws.sort_unstable();
-        ws.dedup();
-
-        let nq = p3.b.nrows();
+        let ws = normalize_windows(windows, p1.f.nt);
         let per_window: Vec<(DMatrix, Vec<f64>)> = ws
             .par_iter()
-            .map(|&w| {
-                let k = w * nd;
-                // B_w = leading k columns of B; X = K_w⁻¹ B_wᵀ in one
-                // panel-blocked leading solve (the factor is walked once
-                // per panel, not once per QoI row).
-                let bw = DMatrix::from_fn(nq, k, |r, c| p3.b[(r, c)]);
-                let x = p2.k_chol.solve_leading_multi(k, &bw.transpose());
-                // Γpost(q; w) = A0 − B_w X; Q_w = Xᵀ.
-                let mut gpq = p3.a0.clone();
-                gpq.add_scaled(-1.0, &bw.matmul(&x));
-                gpq.symmetrize();
-                let std: Vec<f64> = gpq.diag().iter().map(|&v| v.max(0.0).sqrt()).collect();
-                (x.transpose(), std)
-            })
+            .map(|&w| rung_operator(p2, p3, w * nd))
             .collect();
         let (q_maps, q_stds) = per_window.into_iter().unzip();
         WindowedForecaster {
@@ -111,6 +87,40 @@ impl WindowedForecaster {
     pub fn window_for(&self, steps: usize) -> Option<usize> {
         self.windows.iter().rposition(|&w| w <= steps)
     }
+}
+
+/// Clamp a requested window ladder to the horizon, sort it, and dedup it
+/// — the shared normalization of [`WindowedForecaster::build`] and
+/// [`crate::goal::GoalLadder::build`], so the two ladders built from the
+/// same request always line up rung for rung.
+pub(crate) fn normalize_windows(windows: &[usize], nt: usize) -> Vec<usize> {
+    let mut ws: Vec<usize> = windows
+        .iter()
+        .map(|&w| {
+            assert!(w > 0, "window length must be positive");
+            w.min(nt)
+        })
+        .collect();
+    ws.sort_unstable();
+    ws.dedup();
+    ws
+}
+
+/// One rung's dense data-to-QoI operator and posterior std: `T_w = B_w
+/// K_w⁻¹` (`Nq·Nt × k`) via one panel-blocked leading solve (the factor
+/// is walked once per panel, not once per QoI row), and `√diag(Γpost(q;
+/// w))` with `Γpost(q; w) = A0 − B_w X`. Shared by the windowed
+/// forecaster and the goal-oriented ladder so both derive bitwise the
+/// same operator from the same offline phases.
+pub(crate) fn rung_operator(p2: &Phase2, p3: &Phase3, k: usize) -> (DMatrix, Vec<f64>) {
+    let nq = p3.b.nrows();
+    let bw = DMatrix::from_fn(nq, k, |r, c| p3.b[(r, c)]);
+    let x = p2.k_chol.solve_leading_multi(k, &bw.transpose());
+    let mut gpq = p3.a0.clone();
+    gpq.add_scaled(-1.0, &bw.matmul(&x));
+    gpq.symmetrize();
+    let std: Vec<f64> = gpq.diag().iter().map(|&v| v.max(0.0).sqrt()).collect();
+    (x.transpose(), std)
 }
 
 /// Online inference from a truncated observation window: the exact

@@ -29,6 +29,7 @@ pub mod cg;
 pub mod cholesky;
 pub mod complex;
 pub mod eigen;
+pub mod factored;
 pub mod matrix;
 pub mod operator;
 pub mod random;
@@ -40,6 +41,7 @@ pub use cg::{cg_solve, CgOptions, CgResult};
 pub use cholesky::Cholesky;
 pub use complex::C64;
 pub use eigen::{effective_rank, symmetric_eigen, symmetric_eigenvalues};
+pub use factored::FactoredMap;
 pub use matrix::DMatrix;
 pub use operator::{DenseOperator, DiagonalOperator, IdentityOperator, LinearOperator};
 pub use rhs_panel::RhsPanel;

@@ -162,6 +162,23 @@ impl DMatrix {
     pub fn matmul(&self, b: &DMatrix) -> DMatrix {
         assert_eq!(self.cols, b.rows, "matmul: inner dim mismatch");
         let mut c = DMatrix::zeros(self.rows, b.cols);
+        self.matmul_into(b, &mut c);
+        c
+    }
+
+    /// `C = A · B` written into a caller-owned output (overwritten), so
+    /// steady-state callers can reuse one allocation across products.
+    /// This *is* the [`Self::matmul`] kernel — `matmul` allocates zeros
+    /// and delegates here — so results are bitwise identical between the
+    /// two entry points.
+    pub fn matmul_into(&self, b: &DMatrix, c: &mut DMatrix) {
+        assert_eq!(self.cols, b.rows, "matmul_into: inner dim mismatch");
+        assert_eq!(
+            (c.rows, c.cols),
+            (self.rows, b.cols),
+            "matmul_into: output shape mismatch"
+        );
+        c.data.fill(0.0);
         let (m, n, k) = (self.rows, b.cols, self.cols);
         let a_data = &self.data;
         let b_data = &b.data;
@@ -192,7 +209,6 @@ impl DMatrix {
                     }
                 }
             });
-        c
     }
 
     /// `C = Aᵀ · B` without materializing the transpose.
@@ -372,6 +388,17 @@ mod tests {
                 "matmul mismatch at {m}x{k}x{n}"
             );
         }
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_and_matches_matmul_bitwise() {
+        let a = rand_mat(65, 34, 9);
+        let b = rand_mat(34, 21, 10);
+        // Stale garbage in the reused output must be fully overwritten.
+        let mut c = rand_mat(65, 21, 11);
+        a.matmul_into(&b, &mut c);
+        let fresh = a.matmul(&b);
+        assert_eq!(c.as_slice(), fresh.as_slice());
     }
 
     #[test]

@@ -60,7 +60,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 use std::time::Instant;
 use tsunami_core::window::infer_window_batch;
 use tsunami_core::{
-    DigitalTwin, Forecast, ForecastBatch, PodBank, ScenarioBank, WindowedForecaster,
+    DigitalTwin, Forecast, ForecastBatch, GoalLadder, PodBank, ScenarioBank, WindowedForecaster,
 };
 use tsunami_linalg::DMatrix;
 
@@ -82,6 +82,31 @@ pub enum IdentifyBackend {
     ModeSpace,
 }
 
+/// Which forecast path a tick's assimilation stage runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForecastBackend {
+    /// Dense windowed operators: gather each rung group's window panel
+    /// and run [`WindowedForecaster::forecast_batch`]'s GEMM over the
+    /// full window data, plus the optional windowed parameter inference.
+    /// Requires a forecaster ([`StreamEngine::new`]).
+    #[default]
+    Windowed,
+    /// Goal-oriented factored operators ([`GoalLadder`]): newly drained
+    /// samples fold incrementally into each session's per-rung state
+    /// `z += R_wᵀ d` (rank-sized, sharing the blocked
+    /// [`crate::identify::project_group`] kernel with the POD path), and
+    /// a rung crossing materializes all queued QoI means as one
+    /// `L_w · Z` GEMM plus the precomputed std — no Cholesky walk, no
+    /// window re-reads. [`StreamConfig::infer`] is ignored on this path
+    /// ([`StreamSession::m_norm`] stays `None`): skipping the factor
+    /// walk is the whole point. An exact (uncompressed) ladder
+    /// reproduces the windowed forecasts bitwise; truncated ranks are
+    /// within each rung's [`tsunami_core::GoalRung::trunc_bound`].
+    /// Requires a ladder ([`StreamEngine::goal_oriented`] /
+    /// [`StreamEngine::with_goal`]).
+    GoalOriented,
+}
+
 /// Engine knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct StreamConfig {
@@ -101,6 +126,10 @@ pub struct StreamConfig {
     /// default; [`IdentifyBackend::ModeSpace`] needs an attached
     /// [`PodBank`]).
     pub identify: IdentifyBackend,
+    /// Forecast backend ([`ForecastBackend::Windowed`] by default;
+    /// [`ForecastBackend::GoalOriented`] needs an attached
+    /// [`GoalLadder`]).
+    pub forecast: ForecastBackend,
 }
 
 impl Default for StreamConfig {
@@ -111,6 +140,7 @@ impl Default for StreamConfig {
             infer: true,
             shards: 1,
             identify: IdentifyBackend::Exact,
+            forecast: ForecastBackend::Windowed,
         }
     }
 }
@@ -136,6 +166,9 @@ pub struct TickMetrics {
     pub panels: usize,
     /// Newly arrived samples folded into scenario scores this tick.
     pub samples_scored: usize,
+    /// Newly arrived samples folded into goal-oriented per-rung states
+    /// this tick (0 under [`ForecastBackend::Windowed`]).
+    pub samples_folded: usize,
     /// Samples accepted from the lock-free inboxes this tick (the
     /// [`StreamEngine::enqueue`] path; direct pushes count at push time).
     pub samples_drained: usize,
@@ -187,6 +220,12 @@ pub struct EngineMetrics {
     /// freelist and [`StreamEngine::open`] reuses it), so indefinite
     /// service does not grow memory per event.
     pub rings_allocated: usize,
+    /// Bytes currently retained by the per-shard assimilation scratch
+    /// arenas (gather panel + output block, reused across ticks). A
+    /// gauge, refreshed each tick: it plateaus at the high-water chunk
+    /// working set and stays flat through steady-state ticks — the
+    /// allocation-hardening counterpart of `rings_allocated`.
+    pub scratch_bytes: usize,
 }
 
 /// A node of a shard's lock-free inbox (one [`StreamEngine::enqueue`]).
@@ -284,8 +323,28 @@ struct ShardTick {
     sessions_assimilated: usize,
     panels: usize,
     samples_scored: usize,
+    samples_folded: usize,
     samples_drained: usize,
     peak_panel_elems: usize,
+}
+
+/// Per-shard assimilation scratch, reused across ticks so steady-state
+/// ticks allocate nothing: the gather block (windowed data panel `k × b`
+/// or goal-oriented fold block `r × b`) and the materialized QoI output
+/// block `nq × b`. The vecs round-trip through [`DMatrix::from_vec`] /
+/// [`DMatrix::into_vec`] each chunk; `clear` + `resize` within retained
+/// capacity never reallocates once the high-water chunk shape has been
+/// seen.
+#[derive(Default)]
+struct ShardArena {
+    panel: Vec<f64>,
+    q_block: Vec<f64>,
+}
+
+impl ShardArena {
+    fn bytes(&self) -> usize {
+        (self.panel.capacity() + self.q_block.capacity()) * std::mem::size_of::<f64>()
+    }
 }
 
 /// One session shard: its slice of the session table, freelist, and
@@ -300,6 +359,8 @@ struct Shard {
     last: ShardTick,
     /// Largest dense block this shard ever materialized (elements).
     peak_panel_elems: usize,
+    /// Reusable assimilation scratch (see [`ShardArena`]).
+    arena: ShardArena,
 }
 
 impl Shard {
@@ -310,6 +371,7 @@ impl Shard {
             inbox: Inbox::new(),
             last: ShardTick::default(),
             peak_panel_elems: 0,
+            arena: ShardArena::default(),
         }
     }
 }
@@ -317,7 +379,8 @@ impl Shard {
 /// Read-only per-tick context shared by every shard's local tick.
 struct TickCtx<'t> {
     twin: &'t DigitalTwin,
-    forecaster: &'t WindowedForecaster,
+    forecaster: Option<&'t WindowedForecaster>,
+    goal: Option<&'t GoalLadder>,
     bank: Option<&'t ScenarioBank>,
     pod: Option<&'t PodBank>,
     sq_prefix: &'t [f64],
@@ -325,10 +388,29 @@ struct TickCtx<'t> {
     n_shards: usize,
 }
 
+impl TickCtx<'_> {
+    /// The active backend's window ladder (lengths in observation steps).
+    fn windows(&self) -> &[usize] {
+        match self.config.forecast {
+            ForecastBackend::Windowed => {
+                &self
+                    .forecaster
+                    .expect("windowed backend without a forecaster")
+                    .windows
+            }
+            ForecastBackend::GoalOriented => {
+                &self.goal.expect("goal backend without a ladder").windows
+            }
+        }
+    }
+}
+
 /// The streaming assimilation engine (see the [module docs](self)).
 pub struct StreamEngine<'a> {
     twin: &'a DigitalTwin,
-    forecaster: &'a WindowedForecaster,
+    forecaster: Option<&'a WindowedForecaster>,
+    /// Goal-oriented factored ladder (goal-oriented forecasting).
+    goal: Option<&'a GoalLadder>,
     bank: Option<&'a ScenarioBank>,
     /// POD compression of the attached bank (mode-space identification).
     pod: Option<&'a PodBank>,
@@ -349,16 +431,46 @@ impl<'a> StreamEngine<'a> {
         forecaster: &'a WindowedForecaster,
         config: StreamConfig,
     ) -> Self {
-        assert!(config.chunk >= 1, "chunk must be at least 1");
-        assert!(config.shards >= 1, "shards must be at least 1");
         assert_eq!(
             forecaster.nd,
             twin.solver.sensors.len(),
             "forecaster and twin disagree on the sensor count"
         );
+        Self::with_backends(twin, Some(forecaster), None, config)
+    }
+
+    /// A goal-oriented engine: forecasting runs entirely through the
+    /// precomputed factored ladder ([`ForecastBackend::GoalOriented`] is
+    /// forced), so no dense [`WindowedForecaster`] — and none of its
+    /// `O(Nq · Σ w·Nd)` resident memory — is needed at all. This is the
+    /// memory-feasible service configuration the offline/online split
+    /// exists for.
+    pub fn goal_oriented(
+        twin: &'a DigitalTwin,
+        goal: &'a GoalLadder,
+        mut config: StreamConfig,
+    ) -> Self {
+        assert_eq!(
+            goal.nd,
+            twin.solver.sensors.len(),
+            "goal ladder and twin disagree on the sensor count"
+        );
+        config.forecast = ForecastBackend::GoalOriented;
+        Self::with_backends(twin, None, Some(goal), config)
+    }
+
+    fn with_backends(
+        twin: &'a DigitalTwin,
+        forecaster: Option<&'a WindowedForecaster>,
+        goal: Option<&'a GoalLadder>,
+        config: StreamConfig,
+    ) -> Self {
+        assert!(config.chunk >= 1, "chunk must be at least 1");
+        assert!(config.shards >= 1, "shards must be at least 1");
         StreamEngine {
             twin,
             forecaster,
+            goal,
             bank: None,
             pod: None,
             bank_sq_prefix: Vec::new(),
@@ -367,6 +479,39 @@ impl<'a> StreamEngine<'a> {
             next_open: 0,
             metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Attach a goal-oriented factored ladder to a windowed engine,
+    /// enabling [`ForecastBackend::GoalOriented`] ticks alongside the
+    /// dense path (A/B comparison; a pure goal-oriented service should
+    /// use [`Self::goal_oriented`] instead and skip building the dense
+    /// forecaster entirely). Every session gains the ladder's
+    /// rank-sized fold state.
+    pub fn with_goal(mut self, goal: &'a GoalLadder) -> Self {
+        assert_eq!(
+            goal.nd,
+            self.twin.solver.sensors.len(),
+            "goal ladder and twin disagree on the sensor count"
+        );
+        if let Some(wf) = self.forecaster {
+            assert_eq!(
+                goal.windows, wf.windows,
+                "goal ladder and forecaster disagree on the window ladder"
+            );
+        }
+        for s in self.shards.iter().flat_map(|sh| &sh.sessions) {
+            assert!(
+                s.samples() == 0,
+                "attach the goal ladder before any samples arrive"
+            );
+        }
+        let fold_len = goal.fold_len();
+        for s in self.shards.iter_mut().flat_map(|sh| &mut sh.sessions) {
+            s.goal_fold.clear();
+            s.goal_fold.resize(fold_len, 0.0);
+        }
+        self.goal = Some(goal);
+        self
     }
 
     /// Attach a scenario bank: every arrived sample then also updates the
@@ -456,19 +601,20 @@ impl<'a> StreamEngine<'a> {
         let n = self.shards.len();
         let n_scen = self.bank.map_or(0, |b| b.len());
         let n_modes = self.pod.map_or(0, |p| p.rank());
+        let fold_len = self.goal.map_or(0, |g| g.fold_len());
         let si = self.next_open % n;
         self.next_open += 1;
         let nd = self.twin.solver.sensors.len();
         let capacity = self.twin.n_data();
         let shard = &mut self.shards[si];
         if let Some(local) = shard.free.pop() {
-            shard.sessions[local].reopen(n_scen, n_modes);
+            shard.sessions[local].reopen(n_scen, n_modes, fold_len);
             return shard.sessions[local].id;
         }
         let id = si + shard.sessions.len() * n;
-        shard
-            .sessions
-            .push(StreamSession::new(id, capacity, nd, n_scen, n_modes));
+        shard.sessions.push(StreamSession::new(
+            id, capacity, nd, n_scen, n_modes, fold_len,
+        ));
         self.metrics.rings_allocated += 1;
         id
     }
@@ -556,6 +702,11 @@ impl<'a> StreamEngine<'a> {
     /// re-assimilates all of them from their current data. Replay /
     /// benchmarking support (identification scores are *not* reset — they
     /// are a pure function of the arrived samples).
+    ///
+    /// The goal-oriented fold state *is* reset (it is re-derived from the
+    /// ring, zeroing avoids double-folding the same samples), so the next
+    /// tick refolds `[0, filled)` in one pass — bit-identical to a fresh
+    /// engine that received the whole stream in one push.
     pub fn rewind(&mut self) {
         for s in self
             .shards
@@ -564,6 +715,8 @@ impl<'a> StreamEngine<'a> {
             .filter(|s| s.active)
         {
             s.window_idx = None;
+            s.folded = 0;
+            s.goal_fold.fill(0.0);
         }
     }
 
@@ -579,9 +732,21 @@ impl<'a> StreamEngine<'a> {
             self.config.identify == IdentifyBackend::Exact || self.pod.is_some(),
             "mode-space identification requires an attached PodBank (with_pod)"
         );
+        match self.config.forecast {
+            ForecastBackend::Windowed => assert!(
+                self.forecaster.is_some(),
+                "windowed forecasting requires a WindowedForecaster (StreamEngine::new)"
+            ),
+            ForecastBackend::GoalOriented => assert!(
+                self.goal.is_some(),
+                "goal-oriented forecasting requires an attached GoalLadder \
+                 (goal_oriented / with_goal)"
+            ),
+        }
         let ctx = TickCtx {
             twin: self.twin,
             forecaster: self.forecaster,
+            goal: self.goal,
             bank: self.bank,
             pod: self.pod,
             sq_prefix: &self.bank_sq_prefix,
@@ -602,9 +767,11 @@ impl<'a> StreamEngine<'a> {
             m.sessions_assimilated += sh.last.sessions_assimilated;
             m.panels += sh.last.panels;
             m.samples_scored += sh.last.samples_scored;
+            m.samples_folded += sh.last.samples_folded;
             m.samples_drained += sh.last.samples_drained;
             m.peak_panel_elems = m.peak_panel_elems.max(sh.last.peak_panel_elems);
         }
+        self.metrics.scratch_bytes = self.shards.iter().map(|sh| sh.arena.bytes()).sum();
         m.pool_jobs = pool1.jobs - pool0.jobs;
         m.pool_handoffs = pool1.handoffs - pool0.handoffs;
         m.seconds = t0.elapsed().as_secs_f64();
@@ -729,6 +896,14 @@ pub fn superpose_forecasts(matches: &[ScenarioMatch], bank_forecasts: &ForecastB
 /// batched window math then stay serial on that worker), or inline on
 /// the caller for `shards = 1`.
 fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
+    let Shard {
+        sessions,
+        inbox,
+        arena,
+        last,
+        peak_panel_elems,
+        free: _,
+    } = shard;
     let mut p = ShardTick::default();
 
     // 1. Drain the lock-free inbox in arrival order. Batches whose
@@ -736,8 +911,8 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
     //    closed, or closed *and reopened for a new event*, since enqueue
     //    — are dropped; horizon clamping happens in the ring exactly as
     //    for direct pushes.
-    for (id, generation, samples) in shard.inbox.drain() {
-        let s = &mut shard.sessions[id / ctx.n_shards];
+    for (id, generation, samples) in inbox.drain() {
+        let s = &mut sessions[id / ctx.n_shards];
         if s.active && s.generation == generation {
             p.samples_drained += s.ring.push(&samples);
         }
@@ -751,7 +926,7 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
     //    of one.
     if let Some(bank) = ctx.bank {
         let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
-        for s in shard.sessions.iter_mut().filter(|s| s.active) {
+        for s in sessions.iter_mut().filter(|s| s.active) {
             let filled = s.ring.filled();
             if s.scored < filled {
                 buckets.entry((s.scored, filled)).or_default().push(s);
@@ -820,73 +995,222 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
         }
     }
 
-    // 3. Group sessions that crossed a new rung, by rung index, then
-    //    assimilate each group in bounded chunks.
+    // 2b. Goal-oriented fold: each session's newly arrived samples fold
+    //     into its per-rung running state `z_w += R_wᵀ d` — the
+    //     rank-sized online state of the goal-oriented split. Sessions
+    //     with a common unfolded range are bucketed so each rung's right
+    //     factor streams once per bucket (the same blocked projection
+    //     kernel as the POD path); exact rungs carry an implicit
+    //     identity right factor, so their fold is a straight copy of the
+    //     new rows. Ranges are clipped to each rung's window, which also
+    //     skips rungs a session has already fully folded.
+    if ctx.config.forecast == ForecastBackend::GoalOriented {
+        let goal = ctx.goal.expect("goal backend without a ladder");
+        let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
+        for s in sessions.iter_mut().filter(|s| s.active) {
+            let filled = s.ring.filled();
+            if s.folded < filled {
+                buckets.entry((s.folded, filled)).or_default().push(s);
+            }
+        }
+        for ((i0, i1), mut members) in buckets {
+            for (ri, rung) in goal.rungs.iter().enumerate() {
+                let k = goal.windows[ri] * goal.nd;
+                let (i0w, i1w) = (i0.min(k), i1.min(k));
+                if i0w >= i1w {
+                    continue;
+                }
+                let off = goal.fold_offset(ri);
+                match rung.map.right() {
+                    None => {
+                        for s in members.iter_mut() {
+                            let StreamSession {
+                                ring, goal_fold, ..
+                            } = &mut **s;
+                            goal_fold[off + i0w..off + i1w]
+                                .copy_from_slice(&ring.prefix(i1w)[i0w..i1w]);
+                        }
+                    }
+                    Some(rw) => {
+                        let rank = rw.ncols();
+                        let mut group: Vec<(&[f64], &mut [f64])> = members
+                            .iter_mut()
+                            .map(|s| {
+                                let StreamSession {
+                                    ring, goal_fold, ..
+                                } = &mut **s;
+                                (ring.prefix(i1w), &mut goal_fold[off..off + rank])
+                            })
+                            .collect();
+                        identify::project_group(rw, i0w, i1w, &mut group);
+                    }
+                }
+            }
+            for s in members.iter_mut() {
+                s.folded = i1;
+            }
+            p.samples_folded += (i1 - i0) * members.len();
+        }
+    }
+
+    // 3. Group sessions that crossed a new rung of the active backend's
+    //    ladder, by rung index, then assimilate each group in bounded
+    //    chunks over the shard's reusable scratch arena (clear + resize
+    //    within retained capacity: steady-state ticks allocate nothing).
+    let windows = ctx.windows();
     let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (idx, s) in shard.sessions.iter().enumerate().filter(|(_, s)| s.active) {
-        if let Some(w) = ctx.forecaster.window_for(s.steps()) {
+    for (idx, s) in sessions.iter().enumerate().filter(|(_, s)| s.active) {
+        if let Some(w) = windows.iter().rposition(|&wl| wl <= s.steps()) {
             if s.window_idx.is_none_or(|cur| w > cur) {
                 groups.entry(w).or_default().push(idx);
             }
         }
     }
-    for (w, members) in groups {
-        let k = ctx.forecaster.windows[w] * ctx.forecaster.nd;
-        for chunk in members.chunks(ctx.config.chunk) {
-            let b = chunk.len();
-            let mut panel = DMatrix::zeros(k, b);
-            for (c, &idx) in chunk.iter().enumerate() {
-                for (r, &v) in shard.sessions[idx].ring.prefix(k).iter().enumerate() {
-                    panel[(r, c)] = v;
+    match ctx.config.forecast {
+        ForecastBackend::Windowed => {
+            let fct = ctx
+                .forecaster
+                .expect("windowed backend without a forecaster");
+            for (w, members) in groups {
+                let k = fct.windows[w] * fct.nd;
+                let nq = fct.q_maps[w].nrows();
+                for chunk in members.chunks(ctx.config.chunk) {
+                    let b = chunk.len();
+                    let t0 = Instant::now();
+                    let mut buf = std::mem::take(&mut arena.panel);
+                    buf.clear();
+                    buf.resize(k * b, 0.0);
+                    let mut panel = DMatrix::from_vec(k, b, buf);
+                    for (c, &idx) in chunk.iter().enumerate() {
+                        for (r, &v) in sessions[idx].ring.prefix(k).iter().enumerate() {
+                            panel[(r, c)] = v;
+                        }
+                    }
+                    p.peak_panel_elems = p.peak_panel_elems.max(k * b).max(nq * b);
+
+                    let mut qbuf = std::mem::take(&mut arena.q_block);
+                    qbuf.clear();
+                    qbuf.resize(nq * b, 0.0);
+                    let mut q = DMatrix::from_vec(nq, b, qbuf);
+                    fct.q_maps[w].matmul_into(&panel, &mut q);
+                    let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
+
+                    let inf = ctx.config.infer.then(|| {
+                        infer_window_batch(
+                            &ctx.twin.phase1,
+                            &ctx.twin.phase2,
+                            &panel,
+                            fct.windows[w],
+                        )
+                    });
+                    if let Some(inf) = &inf {
+                        // The windowed inference internally zero-pads the
+                        // panel to the full horizon (`(Nd·Nt) × b`) before
+                        // the FFT pass and returns an `(Nm·Nt) × b` block;
+                        // both are part of the tick's real working set.
+                        p.peak_panel_elems = p
+                            .peak_panel_elems
+                            .max(ctx.twin.n_data() * b)
+                            .max(inf.m_map.nrows() * b);
+                    }
+
+                    // 4. Scatter results + classify.
+                    for (c, &idx) in chunk.iter().enumerate() {
+                        let s = &mut sessions[idx];
+                        scatter_forecast(s, &q, c, &fct.q_stds[w], fc_seconds);
+                        s.level = classify_forecast(
+                            s.forecast.as_ref().expect("forecast just scattered"),
+                            ctx.config.warn_threshold,
+                        );
+                        if let Some(inf) = &inf {
+                            let norm = (0..inf.m_map.nrows())
+                                .map(|r| {
+                                    let v = inf.m_map[(r, c)];
+                                    v * v
+                                })
+                                .sum::<f64>()
+                                .sqrt();
+                            s.m_norm = Some(norm);
+                        }
+                        s.window_idx = Some(w);
+                    }
+                    arena.panel = panel.into_vec();
+                    arena.q_block = q.into_vec();
+                    p.panels += 1;
+                    p.sessions_assimilated += b;
                 }
             }
-            p.peak_panel_elems = p.peak_panel_elems.max(k * b);
+        }
+        ForecastBackend::GoalOriented => {
+            // No window panels, no Cholesky walk: gather each chunk's
+            // rank-sized fold states and materialize all QoI means as
+            // one `L_w · Z` GEMM plus the precomputed std.
+            let goal = ctx.goal.expect("goal backend without a ladder");
+            for (w, members) in groups {
+                let rung = &goal.rungs[w];
+                let r = rung.map.rank();
+                let nq = rung.map.out_dim();
+                let off = goal.fold_offset(w);
+                for chunk in members.chunks(ctx.config.chunk) {
+                    let b = chunk.len();
+                    let t0 = Instant::now();
+                    let mut buf = std::mem::take(&mut arena.panel);
+                    buf.clear();
+                    buf.resize(r * b, 0.0);
+                    let mut z = DMatrix::from_vec(r, b, buf);
+                    for (c, &idx) in chunk.iter().enumerate() {
+                        for (row, &v) in sessions[idx].goal_fold[off..off + r].iter().enumerate() {
+                            z[(row, c)] = v;
+                        }
+                    }
+                    p.peak_panel_elems = p.peak_panel_elems.max(r * b).max(nq * b);
 
-            let fc = ctx.forecaster.forecast_batch(w, &panel);
-            let inf = ctx.config.infer.then(|| {
-                infer_window_batch(
-                    &ctx.twin.phase1,
-                    &ctx.twin.phase2,
-                    &panel,
-                    ctx.forecaster.windows[w],
-                )
-            });
-            if let Some(inf) = &inf {
-                // The windowed inference internally zero-pads the
-                // panel to the full horizon (`(Nd·Nt) × b`) before the
-                // FFT pass and returns an `(Nm·Nt) × b` block; both
-                // are part of the tick's real working set.
-                p.peak_panel_elems = p
-                    .peak_panel_elems
-                    .max(ctx.twin.n_data() * b)
-                    .max(inf.m_map.nrows() * b);
-            }
+                    let mut qbuf = std::mem::take(&mut arena.q_block);
+                    qbuf.clear();
+                    qbuf.resize(nq * b, 0.0);
+                    let mut q = DMatrix::from_vec(nq, b, qbuf);
+                    rung.map.materialize_into(&z, &mut q);
+                    let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
 
-            // 4. Scatter results + classify.
-            for (c, &idx) in chunk.iter().enumerate() {
-                let s = &mut shard.sessions[idx];
-                let f = fc.scenario(c);
-                s.level = classify_forecast(&f, ctx.config.warn_threshold);
-                s.forecast = Some(f);
-                if let Some(inf) = &inf {
-                    let norm = (0..inf.m_map.nrows())
-                        .map(|r| {
-                            let v = inf.m_map[(r, c)];
-                            v * v
-                        })
-                        .sum::<f64>()
-                        .sqrt();
-                    s.m_norm = Some(norm);
+                    // 4. Scatter results + classify (no parameter
+                    //    inference on this path: m_norm stays None).
+                    for (c, &idx) in chunk.iter().enumerate() {
+                        let s = &mut sessions[idx];
+                        scatter_forecast(s, &q, c, &goal.q_stds[w], fc_seconds);
+                        s.level = classify_forecast(
+                            s.forecast.as_ref().expect("forecast just scattered"),
+                            ctx.config.warn_threshold,
+                        );
+                        s.window_idx = Some(w);
+                    }
+                    arena.panel = z.into_vec();
+                    arena.q_block = q.into_vec();
+                    p.panels += 1;
+                    p.sessions_assimilated += b;
                 }
-                s.window_idx = Some(w);
             }
-            p.panels += 1;
-            p.sessions_assimilated += b;
         }
     }
 
-    shard.peak_panel_elems = shard.peak_panel_elems.max(p.peak_panel_elems);
-    shard.last = p;
+    *peak_panel_elems = (*peak_panel_elems).max(p.peak_panel_elems);
+    *last = p;
+}
+
+/// Write chunk column `c` of the materialized QoI block into the
+/// session's forecast *in place*: the per-session vectors are sized by
+/// the first assimilation and reused afterwards, so steady-state
+/// scattering allocates nothing.
+fn scatter_forecast(s: &mut StreamSession, q: &DMatrix, c: usize, q_std: &[f64], seconds: f64) {
+    let fc = s.forecast.get_or_insert_with(|| Forecast {
+        q_map: Vec::new(),
+        q_std: Vec::new(),
+        seconds: 0.0,
+    });
+    fc.q_map.clear();
+    fc.q_map.extend((0..q.nrows()).map(|r| q[(r, c)]));
+    fc.q_std.clear();
+    fc.q_std.extend_from_slice(q_std);
+    fc.seconds = seconds;
 }
 
 /// Classify a forecast's 95% credible band against a wave-height

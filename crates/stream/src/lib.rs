@@ -50,6 +50,16 @@
 //!   precomputed forecasts — honest credible bands while identification
 //!   is still ambiguous, and better point forecasts than any single
 //!   best-fit scenario for events between bank members.
+//! - With a [`tsunami_core::GoalLadder`] attached
+//!   ([`StreamEngine::goal_oriented`] / [`StreamEngine::with_goal`]) and
+//!   [`ForecastBackend::GoalOriented`] selected, forecasting runs the
+//!   goal-oriented offline/online split of arXiv:2501.14911: newly
+//!   arrived samples fold into rank-sized per-rung states `z += R_wᵀ d`
+//!   and rung crossings materialize all QoI means as one `L_w · Z` GEMM
+//!   plus the precomputed posterior std — a tick is a handful of small
+//!   GEMMs, with no leading-block Cholesky solve at all. The exact
+//!   (uncompressed) ladder bit-matches the windowed path; truncated
+//!   ranks carry a certified per-rung error bound.
 //! - [`TickMetrics`] / [`EngineMetrics`] record per-tick latency,
 //!   throughput, the peak materialized panel (per shard), and the
 //!   persistent-pool dispatch counters ([`rayon::pool_stats`] deltas).
@@ -59,7 +69,7 @@ pub mod identify;
 pub mod session;
 
 pub use engine::{
-    superpose_forecasts, EngineMetrics, IdentifyBackend, ScenarioMatch, StreamConfig, StreamEngine,
-    TickMetrics,
+    superpose_forecasts, EngineMetrics, ForecastBackend, IdentifyBackend, ScenarioMatch,
+    StreamConfig, StreamEngine, TickMetrics,
 };
 pub use session::{SampleRing, StreamSession, WarningLevel};

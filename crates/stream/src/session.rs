@@ -112,6 +112,13 @@ pub struct StreamSession {
     /// Running POD projection `a = Uᵀd` over the scored samples (empty
     /// unless a [`tsunami_core::PodBank`] is attached).
     pub(crate) pod_coeff: Vec<f64>,
+    /// Concatenated per-rung goal-oriented fold state `z_w = R_wᵀ d_w`
+    /// over the folded samples (empty unless a
+    /// [`tsunami_core::GoalLadder`] is attached; rung `w`'s slice lives
+    /// at the ladder's fold offset).
+    pub(crate) goal_fold: Vec<f64>,
+    /// Samples already folded into `goal_fold`.
+    pub(crate) folded: usize,
     /// Running data energy `‖d‖²` over the scored samples, with its Kahan
     /// compensation term — accumulated across ticks, so compensated for
     /// the same long-horizon reason as the clean-energy prefix sums.
@@ -140,6 +147,7 @@ impl StreamSession {
         nd: usize,
         n_scenarios: usize,
         n_modes: usize,
+        fold_len: usize,
     ) -> Self {
         StreamSession {
             id,
@@ -149,6 +157,8 @@ impl StreamSession {
             scored: 0,
             misfit: vec![0.0; n_scenarios],
             pod_coeff: vec![0.0; n_modes],
+            goal_fold: vec![0.0; fold_len],
+            folded: 0,
             data_energy: 0.0,
             data_energy_comp: 0.0,
             generation: 0,
@@ -165,7 +175,7 @@ impl StreamSession {
     /// deliberately *not* reset: it was bumped at close, and keeping the
     /// new value is what invalidates inbox batches staged for the old
     /// event under the same id.
-    pub(crate) fn reopen(&mut self, n_scenarios: usize, n_modes: usize) {
+    pub(crate) fn reopen(&mut self, n_scenarios: usize, n_modes: usize, fold_len: usize) {
         debug_assert!(!self.active, "reopen of an open session");
         self.ring.clear();
         self.window_idx = None;
@@ -174,6 +184,9 @@ impl StreamSession {
         self.misfit.resize(n_scenarios, 0.0);
         self.pod_coeff.clear();
         self.pod_coeff.resize(n_modes, 0.0);
+        self.goal_fold.clear();
+        self.goal_fold.resize(fold_len, 0.0);
+        self.folded = 0;
         self.data_energy = 0.0;
         self.data_energy_comp = 0.0;
         self.forecast = None;
@@ -254,7 +267,7 @@ mod tests {
 
     #[test]
     fn session_counts_complete_steps_only() {
-        let mut s = StreamSession::new(0, 12, 4, 0, 0);
+        let mut s = StreamSession::new(0, 12, 4, 0, 0, 0);
         s.ring.push(&[0.5; 6]);
         assert_eq!(s.samples(), 6);
         assert_eq!(s.steps(), 1, "partial second step must not count");

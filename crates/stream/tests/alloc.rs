@@ -1,0 +1,124 @@
+//! Allocation hardening: a steady-state goal-oriented tick must not grow
+//! the heap. The per-shard scratch arenas, the in-place forecast scatter,
+//! the ring freelist, and the per-session fold state are all reused, so
+//! once the engine has seen one full open→feed→tick→close generation,
+//! every later generation's *net* live-byte delta is zero — transient
+//! grouping buckets alloc and free within a tick, but nothing
+//! accumulates.
+//!
+//! This test owns its binary so no other test's allocations pollute the
+//! global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use tsunami_core::{DigitalTwin, GoalOptions, ScenarioBank, TwinConfig};
+use tsunami_stream::{StreamConfig, StreamEngine};
+
+/// System allocator wrapped with a net live-byte counter.
+struct Counting;
+
+static LIVE: AtomicIsize = AtomicIsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a pure side
+// channel and never influences the returned pointers.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_add(
+                new_size as isize - layout.size() as isize,
+                Ordering::Relaxed,
+            );
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+#[test]
+fn steady_state_goal_ticks_do_not_grow_the_heap() {
+    let cfg = TwinConfig::tiny();
+    let solver = cfg.build_solver();
+    let specs = ScenarioBank::family(&cfg, 2, 71);
+    let bank = ScenarioBank::generate(&cfg, &solver, &specs);
+    drop(solver);
+    let twin = DigitalTwin::offline(cfg, bank.noise_std());
+    let nt = twin.solver.grid.nt_obs;
+    // Truncated ladder: the fold path that actually accumulates state.
+    let gl = twin.goal_ladder(&[2, nt / 2, nt], &GoalOptions::rank(4));
+    let horizon = twin.n_data();
+
+    let mut engine = StreamEngine::goal_oriented(&twin, &gl, StreamConfig::default());
+
+    // One event generation: open, feed in ragged pieces ticking along the
+    // way, verify a forecast landed, close.
+    let generation = |engine: &mut StreamEngine<'_>, col: usize| {
+        let id = engine.open();
+        let d = bank.observations().col(col);
+        let mut fed = 0;
+        while fed < horizon {
+            let hi = (fed + 7).min(horizon);
+            engine.push(id, &d[fed..hi]);
+            fed = hi;
+            engine.tick();
+        }
+        assert!(engine.session(id).forecast.is_some());
+        engine.close(id);
+    };
+
+    // The measured region runs on one thread so the worker pool neither
+    // dispatches jobs nor retains per-job state behind our back.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        // Warm-up generations: grow the ring freelist, the scratch
+        // arenas, and the reused `Forecast` buffers to their plateau.
+        generation(&mut engine, 0);
+        generation(&mut engine, 1);
+
+        let rings = engine.metrics().rings_allocated;
+        let scratch = engine.metrics().scratch_bytes;
+        assert!(scratch > 0, "arenas should be warm after two generations");
+
+        let before = LIVE.load(Ordering::Relaxed);
+        generation(&mut engine, 0);
+        generation(&mut engine, 1);
+        let after = LIVE.load(Ordering::Relaxed);
+
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state generations leaked {} net bytes",
+            after - before
+        );
+        assert_eq!(
+            engine.metrics().rings_allocated,
+            rings,
+            "ring freelist must satisfy steady-state reopens"
+        );
+        assert_eq!(
+            engine.metrics().scratch_bytes,
+            scratch,
+            "scratch arenas must stay at their plateau"
+        );
+    });
+}

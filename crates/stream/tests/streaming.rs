@@ -725,3 +725,340 @@ fn enqueue_for_an_unknown_id_panics_with_context() {
     let engine = StreamEngine::new(&twin, &wf, StreamConfig::default());
     engine.enqueue(9, &[1.0]);
 }
+
+// ---------------------------------------------------------------------------
+// Goal-oriented forecast backend
+// ---------------------------------------------------------------------------
+
+use tsunami_core::GoalOptions;
+use tsunami_stream::ForecastBackend;
+
+#[test]
+fn goal_oriented_exact_ladder_bit_matches_the_windowed_engine() {
+    // Drive the same ragged streams through the windowed engine and a
+    // goal-oriented engine over the *exact* (uncompressed) ladder. The
+    // exact ladder's fold is a copy and its materialization runs the
+    // same GEMM kernel over the same operator, so every stored forecast
+    // must agree bit for bit, tick by tick.
+    let (twin, bank) = setup_bank(3, 31);
+    let nt = twin.solver.grid.nt_obs;
+    let ladder = [2, nt / 2, nt];
+    let wf = twin.windowed(&ladder);
+    let gl = twin.goal_ladder(&ladder, &GoalOptions::exact());
+
+    let win_cfg = StreamConfig {
+        infer: false,
+        ..StreamConfig::default()
+    };
+    let mut windowed = StreamEngine::new(&twin, &wf, win_cfg);
+    let mut goal = StreamEngine::goal_oriented(&twin, &gl, StreamConfig::default());
+    let ids: Vec<usize> = (0..bank.len()).map(|_| windowed.open()).collect();
+    for _ in 0..bank.len() {
+        goal.open();
+    }
+
+    let horizon = twin.n_data();
+    let mut fed = 0;
+    while fed < horizon {
+        let hi = (fed + 3).min(horizon);
+        for (s, &id) in ids.iter().enumerate() {
+            windowed.push(id, &bank.observations().col(s)[fed..hi]);
+            goal.push(id, &bank.observations().col(s)[fed..hi]);
+        }
+        fed = hi;
+        windowed.tick();
+        let tg = goal.tick();
+        assert_eq!(tg.samples_scored, 0, "no bank attached: nothing to score");
+
+        for &id in &ids {
+            let (sw, sg) = (windowed.session(id), goal.session(id));
+            assert_eq!(sw.window(), sg.window(), "ladder position diverged");
+            if let (Some(fw), Some(fg)) = (sw.forecast.as_ref(), sg.forecast.as_ref()) {
+                assert_eq!(fw.q_map, fg.q_map, "exact ladder must bit-match");
+                assert_eq!(fw.q_std, fg.q_std);
+            }
+            assert_eq!(sw.level, sg.level);
+        }
+    }
+    // The goal path folded every sample exactly once and skipped the
+    // parameter inference entirely.
+    assert_eq!(goal.metrics().samples_ingested, bank.len() * horizon);
+    for &id in &ids {
+        assert!(
+            goal.session(id).m_norm.is_none(),
+            "goal path must not infer"
+        );
+        assert!(windowed.session(id).m_norm.is_none(), "infer was disabled");
+    }
+}
+
+#[test]
+fn goal_oriented_truncated_ladder_stays_within_the_rung_bound() {
+    // A rank-truncated ladder's live forecasts must stay within the
+    // certified per-rung truncation bound of the dense windowed one-shot
+    // forecast: ‖q̂ − q‖₂ ≤ trunc_bound · ‖d_w‖₂.
+    let (twin, bank) = setup_bank(2, 41);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let ladder = [2, nt / 2, nt];
+    let wf = twin.windowed(&ladder);
+    let gl = twin.goal_ladder(&ladder, &GoalOptions::rank(4));
+    let d_full = bank.observations().col(1);
+
+    let mut engine = StreamEngine::goal_oriented(&twin, &gl, StreamConfig::default());
+    let id = engine.open();
+    let mut fed = 0;
+    while fed < d_full.len() {
+        let hi = (fed + 3).min(d_full.len());
+        engine.push(id, &d_full[fed..hi]);
+        fed = hi;
+        engine.tick();
+        if let Some(w) = engine.session(id).window() {
+            let k = wf.windows[w] * nd;
+            let dense = wf.forecast(w, &d_full[..k]);
+            let live = engine.session(id).forecast.as_ref().unwrap();
+            let err: f64 = live
+                .q_map
+                .iter()
+                .zip(&dense.q_map)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let d_norm = d_full[..k].iter().map(|v| v * v).sum::<f64>().sqrt();
+            let bound = gl.mean_error_bound(w, d_norm);
+            assert!(gl.rungs[w].trunc_bound > 0.0, "rung {w} should truncate");
+            assert!(
+                err <= bound + 1e-12,
+                "rung {w}: error {err} exceeds certified bound {bound}"
+            );
+            assert_eq!(live.q_std, dense.q_std, "stds are precomputed exactly");
+        }
+    }
+    assert_eq!(engine.session(id).window(), Some(ladder.len() - 1));
+}
+
+#[test]
+fn goal_backend_crossing_two_rungs_in_one_tick_lands_on_the_widest() {
+    // A single push spanning two ladder rungs must fold both rungs'
+    // states in one tick (ranges clipped per rung) and assimilate at the
+    // widest — bit-identical to the one-shot goal forecast from the same
+    // prefix.
+    let (twin, bank) = setup_bank(1, 13);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let ladder = [1, 2, nt];
+    let gl = twin.goal_ladder(&ladder, &GoalOptions::exact());
+    let d_full = bank.observations().col(0);
+
+    let mut engine = StreamEngine::goal_oriented(&twin, &gl, StreamConfig::default());
+    let id = engine.open();
+    // Cross rungs 0 (1 step) and 1 (2 steps) with one push, one tick.
+    engine.push(id, &d_full[..2 * nd + 1]);
+    let tm = engine.tick();
+    assert_eq!(engine.session(id).window(), Some(1), "must land on rung 1");
+    assert_eq!(tm.sessions_assimilated, 1, "one assimilation, not two");
+    assert_eq!(tm.samples_folded, 2 * nd + 1, "partial step folds too");
+
+    let k = gl.windows[1] * nd;
+    let one_shot = gl.forecast_batch(
+        1,
+        &tsunami_linalg::DMatrix::from_vec(k, 1, d_full[..k].to_vec()),
+    );
+    let live = engine.session(id).forecast.as_ref().unwrap();
+    assert_eq!(live.q_map, one_shot.q_map.as_slice());
+    assert_eq!(live.q_std, one_shot.q_std);
+
+    // Finish the stream: the full-horizon rung must also bit-match.
+    engine.push(id, &d_full[2 * nd + 1..]);
+    engine.tick();
+    assert_eq!(engine.session(id).window(), Some(2));
+    let one_shot = gl.forecast_batch(
+        2,
+        &tsunami_linalg::DMatrix::from_vec(d_full.len(), 1, d_full.clone()),
+    );
+    let live = engine.session(id).forecast.as_ref().unwrap();
+    assert_eq!(live.q_map, one_shot.q_map.as_slice());
+}
+
+#[test]
+fn goal_fold_state_is_clean_on_a_reused_generation_stamped_slot() {
+    // A truncated-ladder fold *accumulates* (z += Rᵀd), so any stale
+    // state left on a reused slot — or a stale inbox batch leaking past
+    // its generation stamp — would silently corrupt the next event's
+    // forecast. Open → fold → enqueue → close → reopen mid-stream must
+    // leave the reused slot bit-identical to a fresh engine fed the same
+    // second event.
+    let (twin, bank) = setup_bank(2, 17);
+    let nt = twin.solver.grid.nt_obs;
+    let gl = twin.goal_ladder(&[2, nt], &GoalOptions::rank(4));
+
+    let mut engine = StreamEngine::goal_oriented(&twin, &gl, StreamConfig::default());
+    let id = engine.open();
+    // First event: fold some samples, stage more in the inbox, then end
+    // the event with the batch still staged.
+    engine.push(id, &bank.observations().col(0)[..9]);
+    engine.tick();
+    assert!(engine.session(id).forecast.is_some());
+    engine.enqueue(id, &bank.observations().col(0)[9..15]);
+    engine.close(id);
+
+    // Second event reuses the slot (same id, fresh generation).
+    let reused = engine.open();
+    assert_eq!(reused, id, "slot must be reused with the same id");
+
+    // A fresh engine sees only the second event, same cadence.
+    let mut fresh = StreamEngine::goal_oriented(&twin, &gl, StreamConfig::default());
+    let fresh_id = fresh.open();
+
+    let d = bank.observations().col(1);
+    let mut fed = 0;
+    while fed < d.len() {
+        let hi = (fed + 7).min(d.len());
+        engine.push(reused, &d[fed..hi]);
+        fresh.push(fresh_id, &d[fed..hi]);
+        fed = hi;
+        engine.tick();
+        fresh.tick();
+    }
+    let (fa, fb) = (
+        engine.session(reused).forecast.as_ref().unwrap(),
+        fresh.session(fresh_id).forecast.as_ref().unwrap(),
+    );
+    assert_eq!(
+        fa.q_map, fb.q_map,
+        "reused slot's fold state contaminated the new event"
+    );
+    assert_eq!(engine.session(reused).samples(), d.len());
+}
+
+#[test]
+fn goal_backend_is_invariant_in_the_shard_count() {
+    // Folds update each session's state independently and the
+    // materialization GEMM acts columnwise, so K-shard and 1-shard
+    // goal-oriented ticks must agree bit for bit — on a truncated
+    // ladder, where the fold actually accumulates.
+    let (twin, bank) = setup_bank(6, 29);
+    let nt = twin.solver.grid.nt_obs;
+    let gl = twin.goal_ladder(&[2, nt / 2, nt], &GoalOptions::rank(4));
+    let horizon = twin.n_data();
+
+    let run = |shards: usize| {
+        let cfg = StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::goal_oriented(&twin, &gl, cfg);
+        let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
+        let mut fed = 0;
+        while fed < horizon {
+            let hi = (fed + 3).min(horizon);
+            for (s, &id) in ids.iter().enumerate() {
+                engine.push(id, &bank.observations().col(s)[fed..hi]);
+            }
+            fed = hi;
+            engine.tick();
+        }
+        ids.iter()
+            .map(|&id| {
+                let s = engine.session(id);
+                (id, s.forecast.as_ref().unwrap().q_map.clone(), s.level)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let base = run(1);
+    for shards in [2usize, 4] {
+        let got = run(shards);
+        for ((id_a, fc_a, lv_a), (id_b, fc_b, lv_b)) in base.iter().zip(&got) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(fc_a, fc_b, "goal forecast must be shard-invariant");
+            assert_eq!(lv_a, lv_b);
+        }
+    }
+}
+
+#[test]
+fn rewind_replay_is_bit_identical_to_a_fresh_engine_under_both_backends() {
+    // rewind() must reset the goal fold state alongside the ladder
+    // position: replaying after a rewind has to refold [0, filled) in
+    // one pass, exactly like a fresh engine that received the whole
+    // stream in one push. Without the reset the truncated fold would
+    // double-count every sample.
+    let (twin, bank) = setup_bank(2, 53);
+    let nt = twin.solver.grid.nt_obs;
+    let ladder = [2, nt / 2, nt];
+    let wf = twin.windowed(&ladder);
+    let gl_exact = twin.goal_ladder(&ladder, &GoalOptions::exact());
+    let gl_trunc = twin.goal_ladder(&ladder, &GoalOptions::rank(4));
+    let d_full = bank.observations().col(0);
+
+    let check = |mut live: StreamEngine<'_>, mut fresh: StreamEngine<'_>, tag: &str| {
+        let id = live.open();
+        let mut fed = 0;
+        while fed < d_full.len() {
+            let hi = (fed + 5).min(d_full.len());
+            live.push(id, &d_full[fed..hi]);
+            fed = hi;
+            live.tick();
+        }
+        live.rewind();
+        let tm = live.tick();
+        assert_eq!(
+            tm.sessions_assimilated, 1,
+            "{tag}: rewind must re-assimilate"
+        );
+
+        let fid = fresh.open();
+        fresh.push(fid, &d_full);
+        fresh.tick();
+
+        let (fa, fb) = (
+            live.session(id).forecast.as_ref().unwrap(),
+            fresh.session(fid).forecast.as_ref().unwrap(),
+        );
+        assert_eq!(fa.q_map, fb.q_map, "{tag}: replay diverged from fresh");
+        assert_eq!(fa.q_std, fb.q_std, "{tag}: stds diverged");
+    };
+
+    let cfg = StreamConfig::default();
+    check(
+        StreamEngine::new(&twin, &wf, cfg),
+        StreamEngine::new(&twin, &wf, cfg),
+        "windowed",
+    );
+    check(
+        StreamEngine::goal_oriented(&twin, &gl_exact, cfg),
+        StreamEngine::goal_oriented(&twin, &gl_exact, cfg),
+        "goal-exact",
+    );
+    check(
+        StreamEngine::goal_oriented(&twin, &gl_trunc, cfg),
+        StreamEngine::goal_oriented(&twin, &gl_trunc, cfg),
+        "goal-truncated",
+    );
+}
+
+#[test]
+fn goal_config_is_selectable_on_a_windowed_engine_via_with_goal() {
+    // A/B configuration: the same engine construction can carry both
+    // backends; selecting GoalOriented in the config routes ticks
+    // through the ladder.
+    let (twin, bank) = setup_bank(1, 19);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[nt]);
+    let gl = tsunami_core::GoalLadder::from_forecaster(&wf, &GoalOptions::exact());
+    let cfg = StreamConfig {
+        forecast: ForecastBackend::GoalOriented,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(&twin, &wf, cfg).with_goal(&gl);
+    let id = engine.open();
+    engine.push(id, &bank.observations().col(0));
+    let tm = engine.tick();
+    assert_eq!(tm.sessions_assimilated, 1);
+    assert_eq!(tm.samples_folded, twin.n_data());
+
+    let one_shot = wf.forecast(0, &bank.observations().col(0));
+    let live = engine.session(id).forecast.as_ref().unwrap();
+    assert_eq!(live.q_map, one_shot.q_map, "exact A/B must bit-match");
+}

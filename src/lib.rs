@@ -57,9 +57,9 @@ pub use tsunami_stream as stream;
 pub mod prelude {
     pub use tsunami_core::{
         greedy_design, infer_window, infer_window_batch, BankAssimilation, Criterion, DigitalTwin,
-        Forecast, ForecastBatch, Inference, InferenceBatch, LtiBayesEngine, LtiModel,
-        OedCandidates, PodBank, ScenarioBank, ScenarioSpec, SpaceTimePrior, SyntheticEvent,
-        TwinConfig, WindowedForecaster,
+        Forecast, ForecastBatch, GoalLadder, GoalOptions, GoalRung, Inference, InferenceBatch,
+        LtiBayesEngine, LtiModel, OedCandidates, PodBank, ScenarioBank, ScenarioSpec,
+        SpaceTimePrior, SyntheticEvent, TwinConfig, WindowedForecaster,
     };
     pub use tsunami_elastic::{
         DippingFault, ElasticGrid, ElasticSolver, LayeredMedium, ShakeTwin, SlipScenario,
@@ -73,7 +73,7 @@ pub mod prelude {
     pub use tsunami_rupture::KinematicRupture;
     pub use tsunami_solver::{PhysicalParams, WaveSolver};
     pub use tsunami_stream::{
-        superpose_forecasts, EngineMetrics, IdentifyBackend, ScenarioMatch, StreamConfig,
-        StreamEngine, StreamSession, TickMetrics, WarningLevel,
+        superpose_forecasts, EngineMetrics, ForecastBackend, IdentifyBackend, ScenarioMatch,
+        StreamConfig, StreamEngine, StreamSession, TickMetrics, WarningLevel,
     };
 }

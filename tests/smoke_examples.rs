@@ -230,3 +230,71 @@ fn pod_superposition_example_flow_runs_to_completion_on_tiny_config() {
         "superposition ({err_mix}) should decisively beat best-fit ({err_best})"
     );
 }
+
+#[test]
+fn goal_oriented_warning_example_flow_runs_to_completion_on_tiny_config() {
+    // Mirrors examples/goal_oriented_warning.rs: one event streamed
+    // through the windowed backend, the exact goal ladder, and a
+    // truncated goal ladder; exact must bit-match, truncated must stay
+    // within its certified bound, and the final warning call must agree.
+    let config = TwinConfig::tiny();
+    let solver = config.build_solver();
+    let rupture = SyntheticEvent::default_rupture(&config);
+    let event = SyntheticEvent::generate(&config, &solver, &rupture, 42);
+    drop(solver);
+    let twin = DigitalTwin::offline(config, event.noise_std);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let windows = [2, nt / 2, nt];
+    let forecaster = twin.windowed(&windows);
+    let gl_exact = twin.goal_ladder(&windows, &GoalOptions::exact());
+    let gl_trunc = twin.goal_ladder(&windows, &GoalOptions::rank(4));
+    assert!(gl_trunc.resident_elems() < gl_trunc.windowed_resident_elems());
+
+    let cfg = StreamConfig {
+        infer: false,
+        warn_threshold: 0.05,
+        ..StreamConfig::default()
+    };
+    let mut windowed = StreamEngine::new(&twin, &forecaster, cfg);
+    let mut exact = StreamEngine::goal_oriented(&twin, &gl_exact, cfg);
+    let mut trunc = StreamEngine::goal_oriented(&twin, &gl_trunc, cfg);
+    let ids = [windowed.open(), exact.open(), trunc.open()];
+
+    let mut fed = 0;
+    while fed < event.d_obs.len() {
+        let hi = (fed + nd).min(event.d_obs.len());
+        windowed.push(ids[0], &event.d_obs[fed..hi]);
+        exact.push(ids[1], &event.d_obs[fed..hi]);
+        trunc.push(ids[2], &event.d_obs[fed..hi]);
+        fed = hi;
+        windowed.tick();
+        exact.tick();
+        trunc.tick();
+
+        let sw = windowed.session(ids[0]);
+        if let (Some(w), Some(fw)) = (sw.window(), sw.forecast.as_ref()) {
+            let fe = exact.session(ids[1]).forecast.as_ref().unwrap();
+            assert_eq!(fw.q_map, fe.q_map, "exact ladder must bit-match");
+            assert_eq!(sw.level, exact.session(ids[1]).level);
+
+            let ft = trunc.session(ids[2]).forecast.as_ref().unwrap();
+            assert!(ft.q_map.iter().all(|v| v.is_finite()));
+            let err: f64 = ft
+                .q_map
+                .iter()
+                .zip(&fw.q_map)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let k = gl_trunc.windows[w] * nd;
+            let d_norm = event.d_obs[..k].iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(
+                err <= gl_trunc.mean_error_bound(w, d_norm) + 1e-12,
+                "rung {w}: truncation bound violated"
+            );
+        }
+    }
+    assert_eq!(windowed.session(ids[0]).level, exact.session(ids[1]).level);
+    assert_eq!(windowed.session(ids[0]).level, WarningLevel::Warning);
+}
