@@ -234,6 +234,22 @@ fn bench_goal_oriented(c: &mut Criterion) {
         t_win * 1e3,
         t_goal * 1e3
     );
+    let config = format!("B={b} rank={RANK}");
+    tsunami_bench::emit::record(
+        "goal_oriented",
+        &config,
+        "tick_windowed_min",
+        t_win * 1e3,
+        "ms",
+    );
+    tsunami_bench::emit::record(
+        "goal_oriented",
+        &config,
+        "tick_goal_min",
+        t_goal * 1e3,
+        "ms",
+    );
+    tsunami_bench::emit::record("goal_oriented", &config, "speedup", speedup, "x");
     if !smoke {
         assert!(
             speedup >= 10.0,

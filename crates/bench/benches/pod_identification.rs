@@ -19,7 +19,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tsunami_core::ScenarioBank;
 use tsunami_linalg::DMatrix;
 use tsunami_stream::identify;
@@ -143,6 +143,86 @@ fn bench_pod_identification(c: &mut Criterion) {
                     "B={b} r={r} stream {s}: mode-space misranked the true scenario"
                 );
             }
+        }
+
+        // Machine-readable summary (BENCH_JSON): best-of-N hand-timed
+        // ticks for both paths at this bank width — the same kernels
+        // criterion just measured, reduced to one floor figure each.
+        let iters = if smoke { 2 } else { 10 };
+        let best_of = |f: &mut dyn FnMut()| {
+            f(); // warmup
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                f();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let t_exact = best_of(&mut || {
+            let mut views: Vec<(&[f64], &mut [f64])> = ds
+                .iter()
+                .zip(misfits.iter_mut())
+                .map(|(d, mis)| {
+                    mis.iter_mut().for_each(|m| *m = 0.0);
+                    (&d[..], &mut mis[..])
+                })
+                .collect();
+            identify::score_group_gemm(black_box(clean), black_box(&sqp), 0, rows, &mut views);
+            black_box(misfits[0][0]);
+        });
+        tsunami_bench::emit::record(
+            "pod_identification",
+            &format!("B={b} streams={n_streams}"),
+            "exact_tick_min",
+            t_exact * 1e3,
+            "ms",
+        );
+        for &r in ranks {
+            let pod = bank.compress(r);
+            let dd: Vec<f64> = ds.iter().map(|d| d.iter().map(|v| v * v).sum()).collect();
+            let mut proj = vec![vec![0.0; pod.rank()]; n_streams];
+            let t_pod = best_of(&mut || {
+                {
+                    let mut views: Vec<(&[f64], &mut [f64])> = ds
+                        .iter()
+                        .zip(proj.iter_mut())
+                        .map(|(d, a)| {
+                            a.iter_mut().for_each(|v| *v = 0.0);
+                            (&d[..], &mut a[..])
+                        })
+                        .collect();
+                    identify::project_group(black_box(pod.modes()), 0, rows, &mut views);
+                }
+                let mut views: Vec<(f64, &[f64], &mut [f64])> = dd
+                    .iter()
+                    .zip(proj.iter())
+                    .zip(misfits.iter_mut())
+                    .map(|((&e, a), mis)| (e, &a[..], &mut mis[..]))
+                    .collect();
+                identify::score_group_pod(
+                    black_box(pod.mode_coeffs()),
+                    black_box(&sqp),
+                    rows,
+                    &mut views,
+                );
+                black_box(misfits[0][0]);
+            });
+            let config = format!("B={b} r={r} streams={n_streams}");
+            tsunami_bench::emit::record(
+                "pod_identification",
+                &config,
+                "pod_tick_min",
+                t_pod * 1e3,
+                "ms",
+            );
+            tsunami_bench::emit::record(
+                "pod_identification",
+                &config,
+                "speedup",
+                t_exact / t_pod.max(1e-12),
+                "x",
+            );
         }
     }
     group.finish();

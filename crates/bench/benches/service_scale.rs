@@ -22,10 +22,21 @@
 //! Set `BENCH_SMOKE=1` for a CI smoke run (10³ sessions, shards {1, 2},
 //! 3 ticks). Shard parallelism only helps with >1 worker; pin
 //! `RAYON_NUM_THREADS=4` (or install) for the headline numbers.
+//!
+//! A third measurement, **`obs_gate`**, is a correctness gate rather
+//! than a table: it re-assimilates the same engine with observability on
+//! and off ([`tsunami_obs::set_enabled`]) and asserts the off tick time
+//! is within 1% of the on tick time (min-of-N, so noise-robust) — the
+//! `OBS=off` kill switch must actually kill the instrumentation cost.
+//!
+//! With `BENCH_JSON=<path>` set, every sweep row and the gate figures
+//! are appended as machine-readable JSONL records
+//! ([`tsunami_bench::emit`]).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+use tsunami_bench::emit;
 use tsunami_core::{DigitalTwin, ScenarioBank, TwinConfig};
 use tsunami_linalg::DMatrix;
 use tsunami_stream::{StreamConfig, StreamEngine};
@@ -183,13 +194,136 @@ fn service_scale_sweep() {
             );
             assert_eq!(em.assimilations, 2 * n_sessions * usize::from(!smoke));
             let _ = wall;
+
+            let config = format!("sessions={n_sessions} shards={shards}");
+            emit::record("service_scale", &config, "sessions_per_sec", rate, "1/s");
+            for (metric, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                emit::record(
+                    "service_scale",
+                    &config,
+                    metric,
+                    percentile(&latencies, p),
+                    "ms",
+                );
+            }
+            emit::record(
+                "service_scale",
+                &config,
+                "peak_panel_per_shard",
+                per_shard_peak as f64,
+                "elems",
+            );
+            emit::record(
+                "service_scale",
+                &config,
+                "pool_jobs",
+                em.pool_jobs as f64,
+                "count",
+            );
+
+            // The engine's telemetry must render as a *parseable*
+            // Prometheus exposition covering all four tick stages, and
+            // the JSON snapshot must carry their percentiles.
+            let text = engine.registry().render_prometheus();
+            let samples = tsunami_obs::validate_exposition(&text).expect("exposition must parse");
+            assert!(samples > 0, "exposition rendered no samples");
+            let json = engine.registry().render_json();
+            for stage in ["drain", "identify", "assimilate", "classify"] {
+                assert!(
+                    text.contains(&format!("stream_tick_{stage}_count")),
+                    "stage {stage} missing from exposition"
+                );
+                assert!(
+                    json.contains(&format!("\"stream.tick.{stage}\":{{\"count\"")),
+                    "stage {stage} missing from JSON snapshot"
+                );
+            }
         }
     }
+}
+
+/// The `OBS=off` kill-switch gate: the same re-assimilation tick, with
+/// instrumentation on vs off, must agree in min-of-N wall clock to
+/// within 1% (plus a small absolute epsilon for timer granularity).
+/// The off path does strictly less work (no clock reads, no records), so
+/// a gate failure means the kill switch is not actually killing the
+/// overhead.
+fn obs_off_gate() {
+    let smoke = smoke_mode();
+    let cfg = TwinConfig::tiny();
+    let twin = DigitalTwin::offline(cfg, 0.02);
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let forecaster = twin.windowed(&[nt / 2, nt]);
+    let bank = synthetic_bank(&twin, 32);
+    let stream_cfg = StreamConfig {
+        infer: false,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(&twin, &forecaster, stream_cfg).with_bank(&bank);
+    let n_sessions = if smoke { 64 } else { 256 };
+    let ids: Vec<usize> = (0..n_sessions).map(|_| engine.open()).collect();
+    // Fill every session to the horizon once; each measured pass then
+    // rewinds and re-assimilates the full ladder in one tick — identical
+    // work every pass, no identification (scores are already caught up).
+    for (s, &id) in ids.iter().enumerate() {
+        let samples: Vec<f64> = (0..nt * nd)
+            .map(|i| ((i * 11 + s) as f64 * 0.19).sin())
+            .collect();
+        engine.push(id, &samples);
+    }
+    engine.tick();
+
+    let passes = if smoke { 5 } else { 20 };
+    let mut min_tick = |on: bool| -> f64 {
+        tsunami_obs::set_enabled(on);
+        let mut best = f64::INFINITY;
+        for _ in 0..passes {
+            engine.rewind();
+            let tm = engine.tick();
+            best = best.min(tm.seconds);
+        }
+        best
+    };
+    let was = tsunami_obs::enabled();
+    min_tick(true); // warmup (allocators, branch predictors)
+    let t_on = min_tick(true);
+    let t_off = min_tick(false);
+    tsunami_obs::set_enabled(was);
+
+    println!(
+        "obs_gate: re-assimilation tick min-of-{passes}: on {:.3} ms, off {:.3} ms",
+        t_on * 1e3,
+        t_off * 1e3
+    );
+    emit::record(
+        "obs_gate",
+        &format!("sessions={n_sessions}"),
+        "tick_on_min",
+        t_on * 1e3,
+        "ms",
+    );
+    emit::record(
+        "obs_gate",
+        &format!("sessions={n_sessions}"),
+        "tick_off_min",
+        t_off * 1e3,
+        "ms",
+    );
+    assert!(
+        t_off <= t_on * 1.01 + 100e-6,
+        "OBS=off tick ({t_off:.6}s) regressed more than 1% against OBS=on ({t_on:.6}s)"
+    );
+}
+
+fn bench_obs_gate(_c: &mut Criterion) {
+    obs_off_gate();
 }
 
 fn bench_service_scale(c: &mut Criterion) {
     bench_pool_dispatch(c);
     service_scale_sweep();
+    bench_obs_gate(c);
 }
 
 criterion_group!(benches, bench_service_scale);

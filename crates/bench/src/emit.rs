@@ -1,0 +1,103 @@
+//! Machine-readable bench emission: `BENCH_JSON=<path>`.
+//!
+//! The printed tables in this crate are for humans; CI and trend
+//! dashboards want records. With `BENCH_JSON` set to a file path, each
+//! call to [`record`] appends one JSON line
+//!
+//! ```json
+//! {"name":"service_scale","config":"sessions=1000 shards=4","metric":"p50","value":1.25,"unit":"ms"}
+//! ```
+//!
+//! so a whole bench run produces a JSONL file a toolchain can ingest
+//! without scraping stdout. Unset (the default), every call is a no-op —
+//! benches stay dependency- and configuration-free for interactive use.
+
+use std::io::Write;
+use std::sync::Mutex;
+use tsunami_obs::render::{json_f64, json_string};
+
+/// Serializes appends from concurrent bench threads within this process
+/// so lines never interleave.
+static SINK: Mutex<()> = Mutex::new(());
+
+/// Emit one benchmark record to the `BENCH_JSON` file, if configured.
+/// `name` is the bench, `config` the swept configuration (free text,
+/// `key=value` pairs by convention), `metric`/`unit` describe `value`.
+/// Errors are reported to stderr, never panicked on — a broken sink must
+/// not fail a bench run.
+pub fn record(name: &str, config: &str, metric: &str, value: f64, unit: &str) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Err(e) = append(&path, name, config, metric, value, unit) {
+        eprintln!("BENCH_JSON: cannot append to {path}: {e}");
+    }
+}
+
+/// Append one record line to `path` (creating the file if needed).
+pub fn append(
+    path: &str,
+    name: &str,
+    config: &str,
+    metric: &str,
+    value: f64,
+    unit: &str,
+) -> std::io::Result<()> {
+    let rendered = line(name, config, metric, value, unit);
+    let _guard = SINK.lock().expect("emit: sink mutex poisoned");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{rendered}")
+}
+
+/// Render one record as a JSON object (no trailing newline).
+pub fn line(name: &str, config: &str, metric: &str, value: f64, unit: &str) -> String {
+    format!(
+        "{{\"name\":{},\"config\":{},\"metric\":{},\"value\":{},\"unit\":{}}}",
+        json_string(name),
+        json_string(config),
+        json_string(metric),
+        json_f64(value),
+        json_string(unit),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_is_escaped_json() {
+        let l = line("b", "n=1 \"quoted\"", "p99", 1.5, "ms");
+        assert_eq!(
+            l,
+            "{\"name\":\"b\",\"config\":\"n=1 \\\"quoted\\\"\",\"metric\":\"p99\",\"value\":1.5,\"unit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        assert!(line("b", "", "x", f64::NAN, "s").contains("\"value\":null"));
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let path =
+            std::env::temp_dir().join(format!("bench_emit_test_{}.jsonl", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        append(path, "a", "c1", "m", 1.0, "s").unwrap();
+        append(path, "a", "c2", "m", 2.0, "s").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"config\":\"c1\""));
+        assert!(lines[1].contains("\"value\":2"));
+        let _ = std::fs::remove_file(path);
+    }
+}

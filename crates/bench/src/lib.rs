@@ -9,6 +9,8 @@
 
 use std::fmt::Write as _;
 
+pub mod emit;
+
 /// A labeled paper-vs-measured comparison row.
 #[derive(Clone, Debug)]
 pub struct Row {

@@ -5,15 +5,23 @@
 //! an `MPI_Barrier`. Here a [`TimerRegistry`] accumulates named sections
 //! (insertion-ordered so reports match the paper's table layout) and can
 //! render the percentage breakdown used in Fig 6.
+//!
+//! Since the telemetry spine landed, each named section is a
+//! [`tsunami_obs::Histogram`] of nanosecond samples inside a private
+//! [`tsunami_obs::Registry`]: name lookup is one indexed-map probe
+//! (instead of the old linear scan over a `Vec`), recording is lock-free
+//! once the handle exists, and the per-section latency *distribution*
+//! (not just the total) is available through [`TimerRegistry::registry`]
+//! alongside the unchanged Table-I report API.
 
-use parking_lot::Mutex;
 use std::time::{Duration, Instant};
+use tsunami_obs::{Metric, MetricValue, Registry};
 
 /// Accumulating named wall-clock timers.
 #[derive(Default)]
 pub struct TimerRegistry {
-    // Insertion-ordered (name, total, calls).
-    entries: Mutex<Vec<(String, Duration, u64)>>,
+    /// One histogram of nanosecond samples per section, insertion-ordered.
+    sections: Registry,
 }
 
 impl TimerRegistry {
@@ -42,50 +50,50 @@ impl TimerRegistry {
 
     /// Manually add elapsed time to `name`.
     pub fn add(&self, name: &str, d: Duration) {
-        let mut entries = self.entries.lock();
-        if let Some(e) = entries.iter_mut().find(|(n, _, _)| n == name) {
-            e.1 += d;
-            e.2 += 1;
-        } else {
-            entries.push((name.to_string(), d, 1));
+        self.sections
+            .histogram(name)
+            .record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// This section's recorded samples as a histogram snapshot (`None` if
+    /// absent) — p50/p95/p99 per section, beyond the Table-I totals.
+    pub fn histogram(&self, name: &str) -> Option<tsunami_obs::HistogramSnapshot> {
+        match self.sections.get(name) {
+            Some(Metric::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
         }
+    }
+
+    /// The backing metrics registry (named `Histogram`s of nanosecond
+    /// samples), renderable as Prometheus text or JSON.
+    pub fn registry(&self) -> &Registry {
+        &self.sections
     }
 
     /// Total accumulated time for `name` in seconds (0 if absent).
     pub fn seconds(&self, name: &str) -> f64 {
-        self.entries
-            .lock()
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|(_, d, _)| d.as_secs_f64())
-            .unwrap_or(0.0)
+        self.histogram(name).map_or(0.0, |h| h.sum as f64 / 1e9)
     }
 
     /// Number of times `name` was recorded.
     pub fn calls(&self, name: &str) -> u64 {
-        self.entries
-            .lock()
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|&(_, _, c)| c)
-            .unwrap_or(0)
+        self.histogram(name).map_or(0, |h| h.count)
     }
 
     /// Sum of all timers in seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.entries
-            .lock()
-            .iter()
-            .map(|(_, d, _)| d.as_secs_f64())
-            .sum()
+        self.snapshot().iter().map(|r| r.1).sum()
     }
 
     /// Snapshot of `(name, seconds, calls)` rows in insertion order.
     pub fn snapshot(&self) -> Vec<(String, f64, u64)> {
-        self.entries
-            .lock()
-            .iter()
-            .map(|(n, d, c)| (n.clone(), d.as_secs_f64(), *c))
+        self.sections
+            .snapshot()
+            .into_iter()
+            .filter_map(|(name, v)| match v {
+                MetricValue::Histogram(h) => Some((name, h.sum as f64 / 1e9, h.count)),
+                _ => None,
+            })
             .collect()
     }
 
@@ -111,7 +119,7 @@ impl TimerRegistry {
 
     /// Reset all timers.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.sections.clear();
     }
 }
 
@@ -160,6 +168,29 @@ mod tests {
         let rep = reg.report();
         assert!(rep.contains("Setup"));
         assert!(rep.contains("TOTAL"));
+    }
+
+    #[test]
+    fn clear_drops_sections() {
+        let reg = TimerRegistry::new();
+        reg.add("Setup", Duration::from_millis(1));
+        reg.clear();
+        assert!(reg.snapshot().is_empty());
+        assert_eq!(reg.calls("Setup"), 0);
+    }
+
+    #[test]
+    fn per_section_distribution_is_queryable() {
+        let reg = TimerRegistry::new();
+        reg.add("solver", Duration::from_nanos(100));
+        reg.add("solver", Duration::from_nanos(1_000_000));
+        let h = reg.histogram("solver").expect("recorded section");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1_000_100);
+        // p99 lands in the bucket of the slowest sample: its upper bound
+        // is within a factor of 2 above the true 1 ms value.
+        let p99 = h.quantile(0.99);
+        assert!((1_000_000..2_097_152).contains(&p99));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Bounded audit ring: the decision trail a long-running service keeps.
+//!
+//! An [`AuditRing`] holds the last `capacity` records of some decision
+//! type (warning-level transitions, config flips, …), evicting oldest
+//! first and remembering *how many* records were ever evicted, so a query
+//! can tell "the log is complete" apart from "the log is a suffix".
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of audit records with eviction accounting.
+#[derive(Clone, Debug)]
+pub struct AuditRing<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T> AuditRing<T> {
+    /// A ring holding at most `capacity` records (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "audit ring capacity must be at least 1");
+        AuditRing {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, record: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(record);
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of retained records (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted
+    /// and then cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted over the ring's lifetime; `evicted() == 0` means
+    /// the retained records are the *complete* history.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Sequence number of the oldest retained record (records are
+    /// numbered from 0 in arrival order).
+    pub fn first_seq(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total records ever pushed.
+    pub fn total(&self) -> u64 {
+        self.evicted + self.buf.len() as u64
+    }
+
+    /// Drop every retained record (the eviction total keeps counting).
+    pub fn clear(&mut self) {
+        self.evicted += self.buf.len() as u64;
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_with_eviction_accounting() {
+        let mut ring = AuditRing::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.evicted(), 2);
+        assert_eq!(ring.first_seq(), 2);
+        assert_eq!(ring.total(), 5);
+        let kept: Vec<i32> = ring.iter().copied().collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest records must be evicted first");
+    }
+
+    #[test]
+    fn clear_counts_as_eviction() {
+        let mut ring = AuditRing::new(2);
+        ring.push("a");
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = AuditRing::<u8>::new(0);
+    }
+}

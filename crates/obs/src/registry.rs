@@ -1,0 +1,402 @@
+//! The metrics registry: hierarchical names → shared metric handles,
+//! with Prometheus-style text exposition and a JSON snapshot.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a mutex and an
+//! indexed-map lookup, and is meant to happen once per metric — callers
+//! keep the returned [`Arc`] handle and record through it lock-free
+//! thereafter. Entries keep **insertion order**, so reports and
+//! expositions are stable and a Table-I-style ordered breakdown can be
+//! built on top (see `tsunami_hpc::TimerRegistry`).
+//!
+//! ## Naming scheme
+//!
+//! Names are hierarchical, dot-separated, lowercase:
+//! `<subsystem>.<object>.<aspect>[.<detail>]` — e.g.
+//! `stream.tick.identify` (per-stage tick latency histogram),
+//! `stream.tick.rung.3` (per-rung assimilation latency),
+//! `pool.handoffs` (worker-pool gauge), `bench.emitted` (counter).
+//! The Prometheus renderer mangles `.` (and any other character outside
+//! `[a-zA-Z0-9_:]`) to `_`, so `stream.tick.identify` is exposed as
+//! `stream_tick_identify`.
+
+use crate::metric::{bucket_bounds, Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::render;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One registered metric (shared handle).
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(Arc<Counter>),
+    /// Instantaneous value.
+    Gauge(Arc<Gauge>),
+    /// Log2 latency/size distribution.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Point-in-time value of one registered metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Full histogram state (boxed: a snapshot is 65 buckets wide, far
+    /// larger than the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Insertion-ordered entries; `index` maps name → position.
+    entries: Vec<(String, Metric)>,
+    index: HashMap<String, usize>,
+}
+
+/// An insertion-ordered, indexed metrics registry (see the
+/// [module docs](self)).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry. Most callers want the process-wide
+    /// [`crate::global`] instance instead; local registries exist for
+    /// scoped reports (e.g. a per-run timer table).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut inner = self.inner.lock().expect("obs: registry mutex poisoned");
+        if let Some(&i) = inner.index.get(name) {
+            return inner.entries[i].1.clone();
+        }
+        let metric = make();
+        let i = inner.entries.len();
+        inner.entries.push((name.to_string(), metric.clone()));
+        inner.index.insert(name.to_string(), i);
+        metric
+    }
+
+    /// Get or register the counter `name`. Panics if `name` is already
+    /// registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("obs: {name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`. Panics if `name` is already
+    /// registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("obs: {name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name`. Panics if `name` is already
+    /// registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("obs: {name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// The metric registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        let inner = self.inner.lock().expect("obs: registry mutex poisoned");
+        inner.index.get(name).map(|&i| inner.entries[i].1.clone())
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("obs: registry mutex poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time values of every metric, in insertion order.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let inner = self.inner.lock().expect("obs: registry mutex poisoned");
+        inner
+            .entries
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Zero every registered metric's value, keeping the registrations
+    /// (and every outstanding handle) intact.
+    pub fn reset(&self) {
+        let inner = self.inner.lock().expect("obs: registry mutex poisoned");
+        for (_, m) in &inner.entries {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Drop every registration. Outstanding handles keep working but are
+    /// no longer rendered; a later `counter`/`histogram` call under the
+    /// same name registers a *fresh* metric.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("obs: registry mutex poisoned");
+        inner.entries.clear();
+        inner.index.clear();
+    }
+
+    /// Render the whole registry as Prometheus-style text exposition:
+    /// a `# TYPE` comment per metric, `name value` samples for counters
+    /// and gauges, and cumulative `name_bucket{le="…"}` / `name_sum` /
+    /// `name_count` samples for histograms. Empty histogram buckets are
+    /// skipped (the cumulative counts stay correct); the `+Inf` bucket is
+    /// always present.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            let pname = mangle(&name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {pname} histogram\n"));
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        cum += c;
+                        if c > 0 {
+                            let (_, hi) = bucket_bounds(i);
+                            out.push_str(&format!("{pname}_bucket{{le=\"{hi}\"}} {cum}\n"));
+                        }
+                    }
+                    out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    out.push_str(&format!("{pname}_sum {}\n", h.sum));
+                    out.push_str(&format!("{pname}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the whole registry as one JSON object:
+    /// `{"name": value, …}` for counters/gauges and
+    /// `{"name": {"count", "sum", "mean", "p50", "p95", "p99",
+    /// "buckets": [[le, n], …]}}` for histograms (non-empty buckets
+    /// only). Insertion-ordered, machine-readable — the snapshot format
+    /// the bench trajectory and dashboards consume.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (k, (name, value)) in self.snapshot().into_iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&render::json_string(&name));
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&v.to_string());
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        render::json_f64(h.mean()),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    ));
+                    let mut first = true;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push_str(&format!("[{},{c}]", bucket_bounds(i).1));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Mangle a hierarchical metric name into the Prometheus charset:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit is prefixed with `_`.
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Validate a Prometheus-style text exposition: every non-empty line must
+/// be either a `#`-comment or a `name[{labels}] value` sample with a
+/// well-formed metric name and a numeric value. Returns the number of
+/// sample (non-comment) lines, or a description of the first malformed
+/// line. A CI smoke gate: an exposition that renders but does not parse
+/// is worse than none.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return Err(format!("line {}: no value separator: {line:?}", lineno + 1)),
+        };
+        let name = match name_part.split_once('{') {
+            Some((n, labels)) => {
+                if !labels.ends_with('}') {
+                    return Err(format!("line {}: unclosed label set: {line:?}", lineno + 1));
+                }
+                let body = &labels[..labels.len() - 1];
+                for pair in body.split(',') {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return Err(format!("line {}: bad label {pair:?}", lineno + 1));
+                    };
+                    if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("line {}: bad label {pair:?}", lineno + 1));
+                    }
+                }
+                n
+            }
+            None => name_part,
+        };
+        let valid_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !valid_name {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        if value_part != "+Inf" && value_part.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad value {value_part:?}", lineno + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_insertion_ordered() {
+        let reg = Registry::new();
+        let a = reg.counter("a.first");
+        reg.gauge("b.second");
+        reg.histogram("c.third");
+        let a2 = reg.counter("a.first");
+        a.add(3);
+        assert_eq!(a2.get(), 3, "same name must return the same handle");
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "b.second", "c.third"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.histogram("x");
+    }
+
+    #[test]
+    fn exposition_renders_and_validates() {
+        let reg = Registry::new();
+        reg.counter("stream.ticks").add(5);
+        reg.gauge("pool.workers").set(4);
+        let h = reg.histogram("stream.tick.identify");
+        for v in [3u64, 900, 901, 40_000] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE stream_ticks counter"));
+        assert!(text.contains("stream_ticks 5"));
+        assert!(text.contains("stream_tick_identify_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("stream_tick_identify_count 4"));
+        let samples = validate_exposition(&text).expect("exposition must parse");
+        assert!(samples >= 7, "expected at least 7 sample lines");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("just_a_name_no_value").is_err());
+        assert!(validate_exposition("9leading_digit 1").is_err());
+        assert!(validate_exposition("ok{le=\"unclosed} 1").is_err());
+        assert!(validate_exposition("name 1.5e3\n# comment\n").is_ok());
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed_enough() {
+        let reg = Registry::new();
+        reg.counter("a").add(1);
+        reg.histogram("h").record(1023);
+        let json = reg.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\"p50\":1023"));
+        assert!(json.contains("[1023,1]"));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        c.add(7);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal JSON building blocks (std-only, no serde in this workspace).
+//!
+//! Just enough to emit machine-readable snapshots and bench records:
+//! escaped strings and finite-safe floats. Not a JSON *parser* — the
+//! emitters in this workspace produce line-oriented records a real
+//! toolchain ingests elsewhere.
+
+/// Render `s` as a JSON string literal (quotes included), escaping the
+/// characters JSON requires (`"` `\` and control characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 round-trips (shortest representation).
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_finite_safe() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for the telemetry spine: histogram quantiles
+//! against a sorted-vector oracle at awkward bucket boundaries, merge
+//! associativity, and lossless concurrent recording through the
+//! workspace thread pool (run CI-side under `RAYON_NUM_THREADS=4`).
+
+use rayon::prelude::*;
+use std::sync::Arc;
+use tsunami_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Registry};
+
+/// The oracle: nearest-rank quantile on the sorted raw values, reported
+/// as the upper bound of the bucket that value lands in — exactly the
+/// resolution contract [`HistogramSnapshot::quantile`] promises.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    bucket_bounds(bucket_index(sorted[rank - 1])).1
+}
+
+#[test]
+fn quantiles_match_the_sorted_vec_oracle_at_awkward_boundaries() {
+    // Values deliberately straddling every kind of bucket edge: zero,
+    // exact powers of two, the off-by-ones on both sides, duplicates,
+    // and a far-tail outlier.
+    let mut values: Vec<u64> = vec![
+        0,
+        0,
+        1,
+        1,
+        2,
+        3,
+        4,
+        4,
+        7,
+        8,
+        9,
+        15,
+        16,
+        17,
+        31,
+        32,
+        33,
+        63,
+        64,
+        65,
+        127,
+        128,
+        129,
+        1023,
+        1024,
+        1025,
+        65_535,
+        65_536,
+        1 << 40,
+    ];
+    // A skewed bulk so the interesting quantiles move across buckets.
+    values.extend((0..57).map(|_| 100u64));
+
+    let h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    values.sort_unstable();
+
+    assert_eq!(snap.count, values.len() as u64);
+    assert_eq!(snap.sum, values.iter().sum::<u64>());
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        assert_eq!(
+            snap.quantile(q),
+            oracle_quantile(&values, q),
+            "quantile({q}) disagrees with the sorted-vec oracle"
+        );
+    }
+}
+
+#[test]
+fn quantile_oracle_agreement_on_each_pure_boundary_population() {
+    // Populations sitting entirely on one boundary value: the quantile
+    // must be that value's bucket upper bound at every q.
+    for v in [0u64, 1, 2, 255, 256, 257, (1 << 20) - 1, 1 << 20] {
+        let h = Histogram::new();
+        for _ in 0..13 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let want = bucket_bounds(bucket_index(v)).1;
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.quantile(q), want, "v={v} q={q}");
+        }
+        // The reported bound is never below the recorded value and never
+        // a full factor of 2 above it (the log2 resolution contract).
+        assert!(want >= v);
+        if v > 0 {
+            assert!(want < v.saturating_mul(2));
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative_and_matches_single_recording() {
+    // Three shards with interleaved deterministic values.
+    let values: Vec<u64> = (0..300)
+        .map(|i| (i * i * 2654435761u64) % (1 << 30))
+        .collect();
+    let shards: Vec<HistogramSnapshot> = (0..3)
+        .map(|s| {
+            let h = Histogram::new();
+            for v in values.iter().skip(s).step_by(3) {
+                h.record(*v);
+            }
+            h.snapshot()
+        })
+        .collect();
+    let (a, b, c) = (&shards[0], &shards[1], &shards[2]);
+
+    let left = a.merge(b).merge(c);
+    let right = a.merge(&b.merge(c));
+    let rotated = c.merge(a).merge(b);
+    assert_eq!(left, right, "merge must be associative");
+    assert_eq!(left, rotated, "merge must be commutative");
+
+    let all = Histogram::new();
+    for &v in &values {
+        all.record(v);
+    }
+    assert_eq!(
+        left,
+        all.snapshot(),
+        "sharded merge must equal single-histogram recording"
+    );
+}
+
+#[test]
+fn concurrent_recording_through_the_pool_is_lossless() {
+    // Many pool workers hammering the same registry handles: every
+    // record must land (counts conserved), and the registry must stay
+    // readable mid-flight. CI runs this under RAYON_NUM_THREADS=4 in
+    // both pool modes.
+    let reg = Registry::new();
+    let hist = reg.histogram("pool.latency");
+    let hits = reg.counter("pool.hits");
+
+    let per_task = 1000u64;
+    let tasks: Vec<u64> = (0..16).collect();
+    tasks.par_iter().for_each(|&t| {
+        let h = Arc::clone(&hist);
+        let c = Arc::clone(&hits);
+        for i in 0..per_task {
+            h.record(t * per_task + i);
+            c.inc();
+        }
+        // Concurrent scrape while other workers are still recording:
+        // must parse-render without panicking.
+        let _ = reg.render_prometheus();
+    });
+
+    let total = per_task * tasks.len() as u64;
+    assert_eq!(hits.get(), total);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+    let expected_sum: u64 = (0..total).sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert!(tsunami_obs::validate_exposition(&reg.render_prometheus()).is_ok());
+}

@@ -50,6 +50,30 @@
 //! independent of the number of live sessions — chunked assimilation for
 //! `B ≫ 10³`, now with the bound holding *per shard*
 //! ([`StreamEngine::shard_panel_peaks`]).
+//!
+//! ## Observability
+//!
+//! Every engine owns a [`tsunami_obs::Registry`]
+//! ([`StreamEngine::registry`]) that its ticks record into through
+//! lock-free handles: per-stage span histograms (`stream.tick.drain`,
+//! `stream.tick.identify`, `stream.tick.assimilate`,
+//! `stream.tick.classify`, `stream.tick.total`, nanoseconds), per-shard
+//! whole-tick spans (`stream.shard.<i>.tick`), per-rung assimilation
+//! spans (`stream.rung.<w>.assimilate`, one sample per chunk), lifetime
+//! throughput counters (`stream.ticks`, `stream.sessions.assimilated`,
+//! `stream.panels`, `stream.samples.*`, `stream.warnings.transitions`),
+//! and tick-boundary pool gauges (`pool.jobs`, `pool.handoffs`,
+//! `pool.wakeups`, `pool.workers`). `OBS=off` (or
+//! [`tsunami_obs::set_enabled`]`(false)`) disables all of it: the tick
+//! checks the switch once and skips every clock read and record.
+//!
+//! Warning-level changes additionally land in a bounded audit ring
+//! ([`StreamEngine::audit`]): each [`WarningTransition`] captures the
+//! session, tick, rung, credible band, top posterior scenario, and
+//! forecast backend at classification time. Transitions are collected in
+//! per-shard scratch during the parallel fan-out and merged shard-major
+//! after the barrier, so the ring needs no locks and its order is
+//! deterministic for a given shard count.
 
 use crate::identify;
 use crate::session::{StreamSession, WarningLevel};
@@ -57,12 +81,14 @@ use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use tsunami_core::window::infer_window_batch;
 use tsunami_core::{
     DigitalTwin, Forecast, ForecastBatch, GoalLadder, PodBank, ScenarioBank, WindowedForecaster,
 };
 use tsunami_linalg::DMatrix;
+use tsunami_obs::{AuditRing, Counter, Gauge, Histogram, Registry, Stopwatch};
 
 /// Which scenario-identification path a tick runs (see the
 /// [module docs](self)).
@@ -130,6 +156,10 @@ pub struct StreamConfig {
     /// [`ForecastBackend::GoalOriented`] needs an attached
     /// [`GoalLadder`]).
     pub forecast: ForecastBackend,
+    /// Capacity of the warning audit ring ([`StreamEngine::audit`]): the
+    /// newest this many [`WarningTransition`] records are retained, older
+    /// ones evicted with accounting. Must be ≥ 1.
+    pub audit_capacity: usize,
 }
 
 impl Default for StreamConfig {
@@ -141,6 +171,7 @@ impl Default for StreamConfig {
             shards: 1,
             identify: IdentifyBackend::Exact,
             forecast: ForecastBackend::Windowed,
+            audit_capacity: 1024,
         }
     }
 }
@@ -175,11 +206,13 @@ pub struct TickMetrics {
     /// Largest dense block materialized by any *one shard* this tick
     /// (elements) — the per-shard bounded-working-set figure.
     pub peak_panel_elems: usize,
-    /// Persistent-pool jobs dispatched during this tick
-    /// ([`rayon::pool_stats`] delta) — 0 when the tick ran serially.
+    /// Persistent-pool jobs dispatched since the previous tick boundary
+    /// (one [`rayon::pool_stats`] read per tick, delta'd against the
+    /// stored previous read) — 0 when the tick ran serially and nothing
+    /// else used the pool in between.
     pub pool_jobs: usize,
-    /// Parked-worker handoffs during this tick — each one an OS-thread
-    /// spawn/join the scoped baseline would have paid.
+    /// Parked-worker handoffs since the previous tick boundary — each one
+    /// an OS-thread spawn/join the scoped baseline would have paid.
     pub pool_handoffs: usize,
     /// Wall-clock seconds for the whole tick.
     pub seconds: f64,
@@ -209,11 +242,12 @@ pub struct EngineMetrics {
     /// Largest dense block any one shard ever materialized (elements) —
     /// the bounded-working-set guarantee, checked against `(Nd·Nt)·chunk`.
     pub peak_panel_elems: usize,
-    /// Persistent-pool jobs dispatched during ticks over the engine's
-    /// lifetime ([`rayon::pool_stats`] deltas summed per tick).
+    /// Persistent-pool jobs dispatched between this engine's tick
+    /// boundaries over its lifetime ([`rayon::pool_stats`] tick-boundary
+    /// deltas, summed).
     pub pool_jobs: usize,
-    /// Parked-worker handoffs during ticks — spawn/joins avoided
-    /// relative to the scoped baseline.
+    /// Parked-worker handoffs between tick boundaries — spawn/joins
+    /// avoided relative to the scoped baseline.
     pub pool_handoffs: usize,
     /// Fresh sample rings allocated over the engine's lifetime. Stays flat
     /// under open→close→open churn (closed sessions return their ring to a
@@ -226,6 +260,98 @@ pub struct EngineMetrics {
     /// working set and stays flat through steady-state ticks — the
     /// allocation-hardening counterpart of `rings_allocated`.
     pub scratch_bytes: usize,
+}
+
+/// One warning-level change of one session — the audit record a
+/// long-running service keeps (see [`StreamEngine::audit`] and the
+/// [module docs](self)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarningTransition {
+    /// Session id whose level changed.
+    pub session: usize,
+    /// 0-based tick index (over the engine's lifetime) that classified
+    /// the change.
+    pub tick: u64,
+    /// Window-ladder rung whose assimilation produced the classified
+    /// forecast.
+    pub rung: usize,
+    /// Warning level before the transition.
+    pub from: WarningLevel,
+    /// Warning level after the transition.
+    pub to: WarningLevel,
+    /// Largest 95%-credible lower bound across the forecast's QoIs at
+    /// classification time (the confident-exceedance figure;
+    /// [`forecast_band`]).
+    pub band_lo: f64,
+    /// Largest 95%-credible upper bound across the forecast's QoIs.
+    pub band_hi: f64,
+    /// Top posterior scenario `(bank index, probability)` under the
+    /// session's identification posterior at classification time — `None`
+    /// when no scenario bank is attached.
+    pub top_scenario: Option<(usize, f64)>,
+    /// Forecast backend that produced the classified forecast.
+    pub backend: ForecastBackend,
+}
+
+/// Cached per-stage span histogram handles into the engine's
+/// [`Registry`], resolved once at construction so ticks record through
+/// lock-free atomics without touching the registry's name table.
+struct TickSpans {
+    drain: Arc<Histogram>,
+    identify: Arc<Histogram>,
+    assimilate: Arc<Histogram>,
+    classify: Arc<Histogram>,
+    total: Arc<Histogram>,
+}
+
+impl TickSpans {
+    fn new(reg: &Registry) -> Self {
+        TickSpans {
+            drain: reg.histogram("stream.tick.drain"),
+            identify: reg.histogram("stream.tick.identify"),
+            assimilate: reg.histogram("stream.tick.assimilate"),
+            classify: reg.histogram("stream.tick.classify"),
+            total: reg.histogram("stream.tick.total"),
+        }
+    }
+}
+
+/// Cached counter/gauge handles (see [`TickSpans`]), refreshed at tick
+/// boundaries.
+struct EngineCounters {
+    ticks: Arc<Counter>,
+    assimilated: Arc<Counter>,
+    panels: Arc<Counter>,
+    drained: Arc<Counter>,
+    scored: Arc<Counter>,
+    folded: Arc<Counter>,
+    transitions: Arc<Counter>,
+    pool_jobs: Arc<Gauge>,
+    pool_handoffs: Arc<Gauge>,
+    pool_wakeups: Arc<Gauge>,
+    pool_workers: Arc<Gauge>,
+    scratch_bytes: Arc<Gauge>,
+    peak_panel: Arc<Gauge>,
+}
+
+impl EngineCounters {
+    fn new(reg: &Registry) -> Self {
+        EngineCounters {
+            ticks: reg.counter("stream.ticks"),
+            assimilated: reg.counter("stream.sessions.assimilated"),
+            panels: reg.counter("stream.panels"),
+            drained: reg.counter("stream.samples.drained"),
+            scored: reg.counter("stream.samples.scored"),
+            folded: reg.counter("stream.samples.folded"),
+            transitions: reg.counter("stream.warnings.transitions"),
+            pool_jobs: reg.gauge("pool.jobs"),
+            pool_handoffs: reg.gauge("pool.handoffs"),
+            pool_wakeups: reg.gauge("pool.wakeups"),
+            pool_workers: reg.gauge("pool.workers"),
+            scratch_bytes: reg.gauge("stream.scratch.bytes"),
+            peak_panel: reg.gauge("stream.peak_panel_elems"),
+        }
+    }
 }
 
 /// A node of a shard's lock-free inbox (one [`StreamEngine::enqueue`]).
@@ -351,6 +477,9 @@ impl ShardArena {
 /// lock-free inbox. Global id `id` lives in shard `id % shards` at local
 /// slot `id / shards`.
 struct Shard {
+    /// This shard's index (fixed at construction; names its span
+    /// histogram and keeps the parallel fan-out self-identifying).
+    idx: usize,
     sessions: Vec<StreamSession>,
     /// Local slots of closed sessions awaiting reuse.
     free: Vec<usize>,
@@ -361,17 +490,23 @@ struct Shard {
     peak_panel_elems: usize,
     /// Reusable assimilation scratch (see [`ShardArena`]).
     arena: ShardArena,
+    /// Warning transitions classified by this shard's current tick;
+    /// merged shard-major into the engine's audit ring after the barrier
+    /// (capacity retained across ticks).
+    audit_scratch: Vec<WarningTransition>,
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(idx: usize) -> Self {
         Shard {
+            idx,
             sessions: Vec::new(),
             free: Vec::new(),
             inbox: Inbox::new(),
             last: ShardTick::default(),
             peak_panel_elems: 0,
             arena: ShardArena::default(),
+            audit_scratch: Vec::new(),
         }
     }
 }
@@ -386,6 +521,18 @@ struct TickCtx<'t> {
     sq_prefix: &'t [f64],
     config: StreamConfig,
     n_shards: usize,
+    /// Per-stage span histograms (shared across shards; recording is
+    /// lock-free).
+    spans: &'t TickSpans,
+    /// Per-rung assimilation span histograms, indexed by rung.
+    rung_spans: &'t [Arc<Histogram>],
+    /// Per-shard whole-tick span histograms, indexed by shard.
+    shard_spans: &'t [Arc<Histogram>],
+    /// Snapshot of [`tsunami_obs::enabled`] for this tick: when false,
+    /// shards skip every clock read and record.
+    obs_on: bool,
+    /// 0-based tick index stamped into audit records.
+    tick_no: u64,
 }
 
 impl TickCtx<'_> {
@@ -422,6 +569,22 @@ pub struct StreamEngine<'a> {
     /// Round-robin cursor for [`Self::open`] shard placement.
     next_open: usize,
     metrics: EngineMetrics,
+    /// This engine's metrics registry (see [`Self::registry`]).
+    obs: Registry,
+    /// Cached per-stage span handles into `obs`.
+    spans: TickSpans,
+    /// Cached counter/gauge handles into `obs`.
+    counters: EngineCounters,
+    /// Per-rung assimilation span histograms, grown to the active
+    /// ladder's length on first tick.
+    rung_spans: Vec<Arc<Histogram>>,
+    /// Per-shard whole-tick span histograms.
+    shard_spans: Vec<Arc<Histogram>>,
+    /// Warning-transition audit ring (see [`Self::audit`]).
+    audit: AuditRing<WarningTransition>,
+    /// Pool counters at the last tick boundary; [`TickMetrics`] pool
+    /// deltas are boundary-to-boundary against this.
+    last_pool: rayon::PoolStats,
 }
 
 impl<'a> StreamEngine<'a> {
@@ -467,6 +630,16 @@ impl<'a> StreamEngine<'a> {
     ) -> Self {
         assert!(config.chunk >= 1, "chunk must be at least 1");
         assert!(config.shards >= 1, "shards must be at least 1");
+        assert!(
+            config.audit_capacity >= 1,
+            "audit_capacity must be at least 1"
+        );
+        let obs = Registry::new();
+        let spans = TickSpans::new(&obs);
+        let counters = EngineCounters::new(&obs);
+        let shard_spans = (0..config.shards)
+            .map(|i| obs.histogram(&format!("stream.shard.{i}.tick")))
+            .collect();
         StreamEngine {
             twin,
             forecaster,
@@ -475,9 +648,16 @@ impl<'a> StreamEngine<'a> {
             pod: None,
             bank_sq_prefix: Vec::new(),
             config,
-            shards: (0..config.shards).map(|_| Shard::new()).collect(),
+            shards: (0..config.shards).map(Shard::new).collect(),
             next_open: 0,
             metrics: EngineMetrics::default(),
+            obs,
+            spans,
+            counters,
+            rung_spans: Vec::new(),
+            shard_spans,
+            audit: AuditRing::new(config.audit_capacity),
+            last_pool: rayon::pool_stats(),
         }
     }
 
@@ -698,6 +878,30 @@ impl<'a> StreamEngine<'a> {
         self.shards.iter().map(|sh| sh.peak_panel_elems).collect()
     }
 
+    /// The engine's metrics registry: per-stage tick span histograms,
+    /// per-shard and per-rung spans, lifetime throughput counters, and
+    /// tick-boundary pool gauges, queryable any time and renderable as
+    /// Prometheus-style text or JSON
+    /// ([`Registry::render_prometheus`] / [`Registry::render_json`]).
+    /// See the [module docs](self) for the naming scheme. Each engine
+    /// owns its registry, so concurrent engines in one process never mix
+    /// their telemetry.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// The warning audit ring: every warning-level transition the engine
+    /// ever classified, newest [`StreamConfig::audit_capacity`] retained
+    /// ([`AuditRing::evicted`] says how many older ones were dropped).
+    pub fn audit(&self) -> &AuditRing<WarningTransition> {
+        &self.audit
+    }
+
+    /// One session's retained warning transitions, oldest first.
+    pub fn audit_for(&self, id: usize) -> impl Iterator<Item = &WarningTransition> {
+        self.audit.iter().filter(move |t| t.session == id)
+    }
+
     /// Forget every session's ladder position so the next [`Self::tick`]
     /// re-assimilates all of them from their current data. Replay /
     /// benchmarking support (identification scores are *not* reset — they
@@ -707,6 +911,10 @@ impl<'a> StreamEngine<'a> {
     /// ring, zeroing avoids double-folding the same samples), so the next
     /// tick refolds `[0, filled)` in one pass — bit-identical to a fresh
     /// engine that received the whole stream in one push.
+    ///
+    /// Warning levels reset to [`WarningLevel::AllClear`] as well, so a
+    /// replay re-classifies from scratch and the audit ring records the
+    /// same transition sequence the original stream produced.
     pub fn rewind(&mut self) {
         for s in self
             .shards
@@ -717,6 +925,7 @@ impl<'a> StreamEngine<'a> {
             s.window_idx = None;
             s.folded = 0;
             s.goal_fold.fill(0.0);
+            s.level = WarningLevel::AllClear;
         }
     }
 
@@ -727,7 +936,7 @@ impl<'a> StreamEngine<'a> {
     /// metrics are merged here.
     pub fn tick(&mut self) -> TickMetrics {
         let t0 = Instant::now();
-        let pool0 = rayon::pool_stats();
+        let on = tsunami_obs::enabled();
         assert!(
             self.config.identify == IdentifyBackend::Exact || self.pod.is_some(),
             "mode-space identification requires an attached PodBank (with_pod)"
@@ -743,6 +952,18 @@ impl<'a> StreamEngine<'a> {
                  (goal_oriented / with_goal)"
             ),
         }
+        // Grow the per-rung span table to the active ladder before the
+        // fan-out, so shards never touch the registry's name table
+        // (one-time work: idempotent after the first tick).
+        let n_rungs = match self.config.forecast {
+            ForecastBackend::Windowed => self.forecaster.expect("asserted above").windows.len(),
+            ForecastBackend::GoalOriented => self.goal.expect("asserted above").windows.len(),
+        };
+        while self.rung_spans.len() < n_rungs {
+            let w = self.rung_spans.len();
+            self.rung_spans
+                .push(self.obs.histogram(&format!("stream.rung.{w}.assimilate")));
+        }
         let ctx = TickCtx {
             twin: self.twin,
             forecaster: self.forecaster,
@@ -752,6 +973,11 @@ impl<'a> StreamEngine<'a> {
             sq_prefix: &self.bank_sq_prefix,
             config: self.config,
             n_shards: self.shards.len(),
+            spans: &self.spans,
+            rung_spans: &self.rung_spans,
+            shard_spans: &self.shard_spans,
+            obs_on: on,
+            tick_no: self.metrics.ticks as u64,
         };
         if self.shards.len() > 1 {
             self.shards
@@ -760,7 +986,6 @@ impl<'a> StreamEngine<'a> {
         } else {
             tick_shard(&mut self.shards[0], &ctx);
         }
-        let pool1 = rayon::pool_stats();
 
         let mut m = TickMetrics::default();
         for sh in &self.shards {
@@ -772,8 +997,23 @@ impl<'a> StreamEngine<'a> {
             m.peak_panel_elems = m.peak_panel_elems.max(sh.last.peak_panel_elems);
         }
         self.metrics.scratch_bytes = self.shards.iter().map(|sh| sh.arena.bytes()).sum();
-        m.pool_jobs = pool1.jobs - pool0.jobs;
-        m.pool_handoffs = pool1.handoffs - pool0.handoffs;
+        // Merge each shard's audit scratch shard-major — deterministic
+        // order for a given shard count, no locking during the fan-out.
+        let mut transitions = 0u64;
+        for si in 0..self.shards.len() {
+            let mut scratch = std::mem::take(&mut self.shards[si].audit_scratch);
+            transitions += scratch.len() as u64;
+            for t in scratch.drain(..) {
+                self.audit.push(t);
+            }
+            self.shards[si].audit_scratch = scratch;
+        }
+        // One pool read per tick: [`TickMetrics`] pool figures are
+        // boundary-to-boundary deltas against the previous read.
+        let pool = rayon::pool_stats();
+        m.pool_jobs = pool.jobs - self.last_pool.jobs;
+        m.pool_handoffs = pool.handoffs - self.last_pool.handoffs;
+        self.last_pool = pool;
         m.seconds = t0.elapsed().as_secs_f64();
 
         self.metrics.ticks += 1;
@@ -784,6 +1024,24 @@ impl<'a> StreamEngine<'a> {
         self.metrics.peak_panel_elems = self.metrics.peak_panel_elems.max(m.peak_panel_elems);
         self.metrics.pool_jobs += m.pool_jobs;
         self.metrics.pool_handoffs += m.pool_handoffs;
+
+        if on {
+            self.spans.total.record_ns((m.seconds * 1e9) as u64);
+            let c = &self.counters;
+            c.ticks.inc();
+            c.assimilated.add(m.sessions_assimilated as u64);
+            c.panels.add(m.panels as u64);
+            c.drained.add(m.samples_drained as u64);
+            c.scored.add(m.samples_scored as u64);
+            c.folded.add(m.samples_folded as u64);
+            c.transitions.add(transitions);
+            c.pool_jobs.set(pool.jobs as u64);
+            c.pool_handoffs.set(pool.handoffs as u64);
+            c.pool_wakeups.set(pool.wakeups as u64);
+            c.pool_workers.set(pool.workers_spawned as u64);
+            c.scratch_bytes.set(self.metrics.scratch_bytes as u64);
+            c.peak_panel.set(self.metrics.peak_panel_elems as u64);
+        }
         m
     }
 
@@ -897,14 +1155,23 @@ pub fn superpose_forecasts(matches: &[ScenarioMatch], bank_forecasts: &ForecastB
 /// the caller for `shards = 1`.
 fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
     let Shard {
+        idx: shard_idx,
         sessions,
         inbox,
         arena,
         last,
         peak_panel_elems,
+        audit_scratch,
         free: _,
     } = shard;
     let mut p = ShardTick::default();
+    audit_scratch.clear();
+    // Span clock: off, it never reads the system clock and every lap is
+    // 0; stage accumulators then stay 0 and nothing is recorded.
+    let on = ctx.obs_on;
+    let mut sw = Stopwatch::start(on);
+    let mut assim_ns = 0u64;
+    let mut classify_ns = 0u64;
 
     // 1. Drain the lock-free inbox in arrival order. Batches whose
     //    generation stamp no longer matches their slot — the session was
@@ -917,6 +1184,7 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
             p.samples_drained += s.ring.push(&samples);
         }
     }
+    let drain_ns = sw.lap();
 
     // 2. Sequential identification of newly arrived samples: sessions
     //    whose unscored range coincides (the common lockstep case) are
@@ -994,6 +1262,7 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
             }
         }
     }
+    let identify_ns = sw.lap();
 
     // 2b. Goal-oriented fold: each session's newly arrived samples fold
     //     into its per-rung running state `z_w += R_wᵀ d` — the
@@ -1066,6 +1335,8 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
             }
         }
     }
+    // Goal-oriented folds and rung grouping count toward assimilation.
+    assim_ns += sw.lap();
     match ctx.config.forecast {
         ForecastBackend::Windowed => {
             let fct = ctx
@@ -1113,15 +1384,30 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
                             .max(ctx.twin.n_data() * b)
                             .max(inf.m_map.nrows() * b);
                     }
+                    let work_ns = sw.lap();
+                    assim_ns += work_ns;
 
                     // 4. Scatter results + classify.
                     for (c, &idx) in chunk.iter().enumerate() {
                         let s = &mut sessions[idx];
                         scatter_forecast(s, &q, c, &fct.q_stds[w], fc_seconds);
-                        s.level = classify_forecast(
-                            s.forecast.as_ref().expect("forecast just scattered"),
-                            ctx.config.warn_threshold,
-                        );
+                        let band =
+                            forecast_band(s.forecast.as_ref().expect("forecast just scattered"));
+                        let prev = s.level;
+                        s.level = classify_band(band, ctx.config.warn_threshold);
+                        if s.level != prev {
+                            audit_scratch.push(WarningTransition {
+                                session: s.id,
+                                tick: ctx.tick_no,
+                                rung: w,
+                                from: prev,
+                                to: s.level,
+                                band_lo: band.0,
+                                band_hi: band.1,
+                                top_scenario: ctx.bank.and_then(|bk| top_posterior(&s.misfit, bk)),
+                                backend: ctx.config.forecast,
+                            });
+                        }
                         if let Some(inf) = &inf {
                             let norm = (0..inf.m_map.nrows())
                                 .map(|r| {
@@ -1133,6 +1419,11 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
                             s.m_norm = Some(norm);
                         }
                         s.window_idx = Some(w);
+                    }
+                    let cls_ns = sw.lap();
+                    classify_ns += cls_ns;
+                    if on {
+                        ctx.rung_spans[w].record(work_ns + cls_ns);
                     }
                     arena.panel = panel.into_vec();
                     arena.q_block = q.into_vec();
@@ -1171,17 +1462,37 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
                     let mut q = DMatrix::from_vec(nq, b, qbuf);
                     rung.map.materialize_into(&z, &mut q);
                     let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
+                    let work_ns = sw.lap();
+                    assim_ns += work_ns;
 
                     // 4. Scatter results + classify (no parameter
                     //    inference on this path: m_norm stays None).
                     for (c, &idx) in chunk.iter().enumerate() {
                         let s = &mut sessions[idx];
                         scatter_forecast(s, &q, c, &goal.q_stds[w], fc_seconds);
-                        s.level = classify_forecast(
-                            s.forecast.as_ref().expect("forecast just scattered"),
-                            ctx.config.warn_threshold,
-                        );
+                        let band =
+                            forecast_band(s.forecast.as_ref().expect("forecast just scattered"));
+                        let prev = s.level;
+                        s.level = classify_band(band, ctx.config.warn_threshold);
+                        if s.level != prev {
+                            audit_scratch.push(WarningTransition {
+                                session: s.id,
+                                tick: ctx.tick_no,
+                                rung: w,
+                                from: prev,
+                                to: s.level,
+                                band_lo: band.0,
+                                band_hi: band.1,
+                                top_scenario: ctx.bank.and_then(|bk| top_posterior(&s.misfit, bk)),
+                                backend: ctx.config.forecast,
+                            });
+                        }
                         s.window_idx = Some(w);
+                    }
+                    let cls_ns = sw.lap();
+                    classify_ns += cls_ns;
+                    if on {
+                        ctx.rung_spans[w].record(work_ns + cls_ns);
                     }
                     arena.panel = z.into_vec();
                     arena.q_block = q.into_vec();
@@ -1192,6 +1503,13 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
         }
     }
 
+    if on {
+        ctx.spans.drain.record(drain_ns);
+        ctx.spans.identify.record(identify_ns);
+        ctx.spans.assimilate.record(assim_ns);
+        ctx.spans.classify.record(classify_ns);
+        ctx.shard_spans[*shard_idx].record(drain_ns + identify_ns + assim_ns + classify_ns);
+    }
     *peak_panel_elems = (*peak_panel_elems).max(p.peak_panel_elems);
     *last = p;
 }
@@ -1213,12 +1531,11 @@ fn scatter_forecast(s: &mut StreamSession, q: &DMatrix, c: usize, q_std: &[f64],
     fc.seconds = seconds;
 }
 
-/// Classify a forecast's 95% credible band against a wave-height
-/// threshold: [`WarningLevel::Warning`] if the *lower* bound tops the
-/// threshold anywhere (confident exceedance), [`WarningLevel::Watch`] if
-/// only the upper bound does (the band straddles it), else
-/// [`WarningLevel::AllClear`].
-pub fn classify_forecast(fc: &Forecast, threshold: f64) -> WarningLevel {
+/// The peak of a forecast's 95% credible band across its QoIs: the
+/// largest lower bound and the largest upper bound. This is the pair
+/// [`classify_forecast`] decides on, exposed separately so audit records
+/// can carry the evidence behind a classification.
+pub fn forecast_band(fc: &Forecast) -> (f64, f64) {
     let mut lo_max = f64::NEG_INFINITY;
     let mut hi_max = f64::NEG_INFINITY;
     for i in 0..fc.q_map.len() {
@@ -1226,6 +1543,21 @@ pub fn classify_forecast(fc: &Forecast, threshold: f64) -> WarningLevel {
         lo_max = lo_max.max(lo);
         hi_max = hi_max.max(hi);
     }
+    (lo_max, hi_max)
+}
+
+/// Classify a forecast's 95% credible band against a wave-height
+/// threshold: [`WarningLevel::Warning`] if the *lower* bound tops the
+/// threshold anywhere (confident exceedance), [`WarningLevel::Watch`] if
+/// only the upper bound does (the band straddles it), else
+/// [`WarningLevel::AllClear`].
+pub fn classify_forecast(fc: &Forecast, threshold: f64) -> WarningLevel {
+    classify_band(forecast_band(fc), threshold)
+}
+
+/// Classify a precomputed peak band ([`forecast_band`]) against a
+/// wave-height threshold (see [`classify_forecast`]).
+pub fn classify_band((lo_max, hi_max): (f64, f64), threshold: f64) -> WarningLevel {
     if lo_max > threshold {
         WarningLevel::Warning
     } else if hi_max > threshold {
@@ -1233,6 +1565,32 @@ pub fn classify_forecast(fc: &Forecast, threshold: f64) -> WarningLevel {
     } else {
         WarningLevel::AllClear
     }
+}
+
+/// The bank scenario with the highest posterior probability under a
+/// session's accumulated misfit (uniform prior) — `O(B)`, evaluated only
+/// when a warning transition needs an audit record.
+fn top_posterior(misfit: &[f64], bank: &ScenarioBank) -> Option<(usize, f64)> {
+    if misfit.is_empty() {
+        return None;
+    }
+    let sigma2 = bank.noise_std() * bank.noise_std();
+    let mut best = 0usize;
+    let mut best_ll = f64::NEG_INFINITY;
+    for (j, &mis) in misfit.iter().enumerate() {
+        let ll = -mis / (2.0 * sigma2);
+        if ll > best_ll {
+            best = j;
+            best_ll = ll;
+        }
+    }
+    // Softmax normalizer relative to the best scenario: its own weight is
+    // exactly 1, so its posterior is 1/z.
+    let z: f64 = misfit
+        .iter()
+        .map(|&mis| (-mis / (2.0 * sigma2) - best_ll).exp())
+        .sum();
+    Some((best, 1.0 / z))
 }
 
 #[cfg(test)]

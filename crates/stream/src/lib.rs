@@ -63,13 +63,20 @@
 //! - [`TickMetrics`] / [`EngineMetrics`] record per-tick latency,
 //!   throughput, the peak materialized panel (per shard), and the
 //!   persistent-pool dispatch counters ([`rayon::pool_stats`] deltas).
+//! - Every engine owns a [`tsunami_obs::Registry`]
+//!   ([`StreamEngine::registry`]) its ticks record per-stage, per-shard,
+//!   and per-rung span histograms into, plus a bounded warning audit ring
+//!   ([`StreamEngine::audit`]) of [`WarningTransition`] records — see the
+//!   [`engine`] module docs for the naming scheme and the `OBS=off` kill
+//!   switch.
 
 pub mod engine;
 pub mod identify;
 pub mod session;
 
 pub use engine::{
-    superpose_forecasts, EngineMetrics, ForecastBackend, IdentifyBackend, ScenarioMatch,
-    StreamConfig, StreamEngine, TickMetrics,
+    classify_band, classify_forecast, forecast_band, superpose_forecasts, EngineMetrics,
+    ForecastBackend, IdentifyBackend, ScenarioMatch, StreamConfig, StreamEngine, TickMetrics,
+    WarningTransition,
 };
 pub use session::{SampleRing, StreamSession, WarningLevel};

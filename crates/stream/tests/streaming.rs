@@ -1062,3 +1062,95 @@ fn goal_config_is_selectable_on_a_windowed_engine_via_with_goal() {
     let live = engine.session(id).forecast.as_ref().unwrap();
     assert_eq!(live.q_map, one_shot.q_map, "exact A/B must bit-match");
 }
+
+#[test]
+fn audit_ring_caps_retention_and_evicts_oldest_first() {
+    // A hazardous scenario on a two-rung ladder produces at least one
+    // transition per replay; rewind-replaying it K times with a
+    // capacity-2 ring must retain exactly the two newest transitions
+    // while the totals keep counting everything that ever happened.
+    let (twin, bank) = setup_bank(6, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[1, nt]);
+    let cfg = StreamConfig {
+        warn_threshold: 1e-6, // everything trips Warning immediately
+        infer: false,
+        audit_capacity: 2,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(&twin, &wf, cfg);
+    let id = engine.open();
+    engine.push(id, &bank.observations().col(0));
+
+    let replays: u64 = 5;
+    engine.tick();
+    for _ in 1..replays {
+        engine.rewind();
+        engine.tick();
+    }
+    let per_replay = engine.audit().total() / replays;
+    assert!(per_replay >= 1, "replay produced no transitions");
+    assert_eq!(engine.audit().len(), 2, "ring must cap at its capacity");
+    assert_eq!(engine.audit().capacity(), 2);
+    assert_eq!(
+        engine.audit().evicted(),
+        engine.audit().total() - 2,
+        "every older transition must be accounted as evicted"
+    );
+    // Retained entries are the newest: their tick stamps are the largest
+    // recorded, in nondecreasing order.
+    let ticks: Vec<u64> = engine.audit().iter().map(|t| t.tick).collect();
+    assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(ticks.last().copied(), Some(replays - 1));
+}
+
+#[test]
+fn rewind_replay_reproduces_the_audit_trail_of_a_fresh_engine() {
+    // The audit ring's rewind contract: levels reset to all-clear, so a
+    // rewound replay re-classifies from scratch and must record exactly
+    // the transitions a fresh engine records on the same data — same
+    // order, same bands, same posteriors (only the tick stamps differ).
+    let (twin, bank) = setup_bank(4, 7);
+    let nt = twin.solver.grid.nt_obs;
+    let wf = twin.windowed(&[1, nt]);
+    let cfg = StreamConfig {
+        warn_threshold: 0.5,
+        infer: false,
+        ..StreamConfig::default()
+    };
+    let strip_tick = |e: &StreamEngine<'_>, skip: usize| -> Vec<_> {
+        e.audit()
+            .iter()
+            .skip(skip)
+            .map(|t| {
+                let mut t = *t;
+                t.tick = 0;
+                t
+            })
+            .collect()
+    };
+
+    let mut live = StreamEngine::new(&twin, &wf, cfg).with_bank(&bank);
+    let ids: Vec<usize> = (0..bank.len()).map(|_| live.open()).collect();
+    for (j, &id) in ids.iter().enumerate() {
+        live.push(id, &bank.observations().col(j));
+    }
+    live.tick();
+    let first = strip_tick(&live, 0);
+    assert!(!first.is_empty(), "threshold must trip some transitions");
+
+    // Replay on the same engine: the new trail segment must repeat the
+    // first one exactly.
+    live.rewind();
+    live.tick();
+    assert_eq!(strip_tick(&live, first.len()), first);
+
+    // And a fresh engine fed identically must produce the same trail.
+    let mut fresh = StreamEngine::new(&twin, &wf, cfg).with_bank(&bank);
+    let fresh_ids: Vec<usize> = (0..bank.len()).map(|_| fresh.open()).collect();
+    for (j, &id) in fresh_ids.iter().enumerate() {
+        fresh.push(id, &bank.observations().col(j));
+    }
+    fresh.tick();
+    assert_eq!(strip_tick(&fresh, 0), first);
+}

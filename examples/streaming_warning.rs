@@ -152,4 +152,21 @@ fn main() {
             s.m_norm.unwrap_or(0.0),
         );
     }
+
+    // 5. Audit trail: the engine's bounded ring has recorded every
+    //    warning-level transition with the evidence behind it.
+    println!(
+        "\n--- warning audit trail ({} transitions) ---",
+        engine.audit().len()
+    );
+    for tr in engine.audit().iter() {
+        let top = tr
+            .top_scenario
+            .map(|(s, p)| format!("#{s} (p = {p:.2})"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  tick {:>2} S{} rung {}: {:<9} -> {:<9} | band [{:>6.2}, {:>6.2}] m | top {top}",
+            tr.tick, tr.session, tr.rung, tr.from, tr.to, tr.band_lo, tr.band_hi
+        );
+    }
 }

@@ -48,6 +48,7 @@ pub use tsunami_fft as fft;
 pub use tsunami_hpc as hpc;
 pub use tsunami_linalg as linalg;
 pub use tsunami_mesh as mesh;
+pub use tsunami_obs as obs;
 pub use tsunami_prior as prior;
 pub use tsunami_rupture as rupture;
 pub use tsunami_solver as solver;
@@ -69,11 +70,12 @@ pub mod prelude {
     pub use tsunami_hpc::{TimerRegistry, ALPS, EL_CAPITAN, FRONTERA, PERLMUTTER};
     pub use tsunami_linalg::{Cholesky, DMatrix, LinearOperator, RhsPanel};
     pub use tsunami_mesh::{CascadiaBathymetry, FlatBathymetry, HexMesh};
+    pub use tsunami_obs::{AuditRing, Registry};
     pub use tsunami_prior::MaternPrior;
     pub use tsunami_rupture::KinematicRupture;
     pub use tsunami_solver::{PhysicalParams, WaveSolver};
     pub use tsunami_stream::{
         superpose_forecasts, EngineMetrics, ForecastBackend, IdentifyBackend, ScenarioMatch,
-        StreamConfig, StreamEngine, StreamSession, TickMetrics, WarningLevel,
+        StreamConfig, StreamEngine, StreamSession, TickMetrics, WarningLevel, WarningTransition,
     };
 }

@@ -115,9 +115,13 @@ fn streaming_warning_flow(config: TwinConfig) {
     let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
 
     // Interleaved replay: one observation step per session per round.
+    // Track every externally observable warning-level change so the
+    // engine's audit ring can be checked against it afterwards.
     let feeds: Vec<Vec<f64>> = (0..bank.len())
         .map(|j| bank.observations().col(j))
         .collect();
+    let mut levels = vec![WarningLevel::AllClear; bank.len()];
+    let mut observed: Vec<Vec<(WarningLevel, WarningLevel)>> = vec![Vec::new(); bank.len()];
     for t in 0..nt {
         for (d, &id) in feeds.iter().zip(&ids) {
             let accepted = engine.push(id, &d[t * nd..(t + 1) * nd]);
@@ -125,6 +129,13 @@ fn streaming_warning_flow(config: TwinConfig) {
         }
         let tm = engine.tick();
         assert!(tm.seconds >= 0.0 && tm.seconds.is_finite());
+        for (j, &id) in ids.iter().enumerate() {
+            let level = engine.session(id).level;
+            if level != levels[j] {
+                observed[j].push((levels[j], level));
+                levels[j] = level;
+            }
+        }
     }
 
     // Every session must have completed the ladder with a finite forecast
@@ -165,6 +176,128 @@ fn streaming_warning_flow(config: TwinConfig) {
     assert_eq!(em.samples_ingested, bank.len() * twin.n_data());
     let bound = twin.n_data().max(twin.n_params()) * stream_cfg.chunk;
     assert!(em.peak_panel_elems <= bound);
+
+    // The audit ring must reproduce every transition the replay observed
+    // from the outside: same per-session sequence of level flips, each
+    // entry's recorded credible band reclassifying to its `to` level.
+    let total_observed: usize = observed.iter().map(Vec::len).sum();
+    assert_eq!(engine.audit().total(), total_observed as u64);
+    assert_eq!(engine.audit().evicted(), 0, "tiny replay must fit the ring");
+    for (j, &id) in ids.iter().enumerate() {
+        let audited: Vec<(WarningLevel, WarningLevel)> =
+            engine.audit_for(id).map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            audited, observed[j],
+            "session {j}: audit trail diverges from observed transitions"
+        );
+    }
+    for t in engine.audit().iter() {
+        assert!(t.band_lo.is_finite() && t.band_hi.is_finite());
+        assert_eq!(
+            cascadia_dt::stream::classify_band((t.band_lo, t.band_hi), stream_cfg.warn_threshold),
+            t.to,
+            "audited band must reclassify to the recorded level"
+        );
+        let (s, p) = t.top_scenario.expect("bank attached: posterior available");
+        assert!(s < bank.len());
+        assert!((0.0..=1.0).contains(&p));
+    }
+}
+
+#[test]
+fn telemetry_dashboard_example_flow_runs_to_completion_on_tiny_config() {
+    use cascadia_dt::obs::{validate_exposition, Metric};
+
+    // Mirrors examples/telemetry_dashboard.rs: goal-oriented forecasts +
+    // mode-space identification, then every telemetry surface the engine
+    // exposes must be populated and internally consistent.
+    let config = TwinConfig::tiny();
+    let specs = ScenarioBank::family(&config, 6, 7);
+    let solver = config.build_solver();
+    let bank = ScenarioBank::generate(&config, &solver, &specs);
+    drop(solver);
+    let twin = DigitalTwin::offline(config, bank.noise_std());
+    let nt = twin.solver.grid.nt_obs;
+    let nd = twin.solver.sensors.len();
+    let windows: Vec<usize> = [1, 2, 4, 8, nt]
+        .iter()
+        .cloned()
+        .filter(|&w| w <= nt)
+        .collect();
+    let ladder = twin.goal_ladder(&windows, &GoalOptions::rank(4));
+    let pod = bank.compress_energy(0.9999, bank.len());
+
+    let stream_cfg = StreamConfig {
+        chunk: 4,
+        warn_threshold: 1.0,
+        infer: false,
+        identify: IdentifyBackend::ModeSpace,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::goal_oriented(&twin, &ladder, stream_cfg)
+        .with_bank(&bank)
+        .with_pod(&pod);
+    let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
+    let feeds: Vec<Vec<f64>> = (0..bank.len())
+        .map(|j| bank.observations().col(j))
+        .collect();
+    for t in 0..nt {
+        for (d, &id) in feeds.iter().zip(&ids) {
+            engine.push(id, &d[t * nd..(t + 1) * nd]);
+        }
+        engine.tick();
+    }
+
+    // Per-stage histograms: one record per shard-visit per tick, so each
+    // stage saw exactly ticks × shards records.
+    let em = engine.metrics();
+    let reg = engine.registry();
+    let visits = (em.ticks * stream_cfg.shards) as u64;
+    for stage in ["drain", "identify", "assimilate", "classify"] {
+        let name = format!("stream.tick.{stage}");
+        let Some(Metric::Histogram(h)) = reg.get(&name) else {
+            panic!("{name} missing from the registry");
+        };
+        let s = h.snapshot();
+        assert_eq!(s.count, visits, "{name}: one record per shard-visit");
+        assert!(s.quantile(0.5) <= s.quantile(0.95));
+        assert!(s.quantile(0.95) <= s.quantile(0.99));
+    }
+    // Every rung of the ladder assimilated at least one chunk.
+    for w in 0..windows.len() {
+        let name = format!("stream.rung.{w}.assimilate");
+        let Some(Metric::Histogram(h)) = reg.get(&name) else {
+            panic!("{name} missing from the registry");
+        };
+        assert!(h.snapshot().count > 0, "{name} never recorded");
+    }
+
+    // Both machine-facing views render, and the Prometheus text parses.
+    let samples = validate_exposition(&reg.render_prometheus()).expect("exposition must parse");
+    assert!(samples > 0);
+    let json = reg.render_json();
+    for stage in ["drain", "identify", "assimilate", "classify"] {
+        assert!(
+            json.contains(&format!("\"stream.tick.{stage}\":{{\"count\"")),
+            "JSON snapshot missing stream.tick.{stage}"
+        );
+    }
+
+    // The replay trips warnings: the audit ring must hold transitions
+    // whose recorded evidence is self-consistent, and the transitions
+    // counter must agree with it.
+    assert!(!engine.audit().is_empty(), "replay produced no transitions");
+    match reg.get("stream.warnings.transitions") {
+        Some(Metric::Counter(c)) => assert_eq!(c.get(), engine.audit().total()),
+        other => panic!("transitions counter missing: {other:?}"),
+    }
+    for tr in engine.audit().iter() {
+        assert!(ids.contains(&tr.session));
+        assert!(tr.rung < windows.len());
+        assert_ne!(tr.from, tr.to);
+        assert!(tr.band_lo.is_finite() && tr.band_hi.is_finite());
+        assert_eq!(tr.backend, ForecastBackend::GoalOriented);
+    }
 }
 
 #[test]
