@@ -50,6 +50,7 @@ pub mod evidence;
 pub mod goal;
 pub mod lti;
 pub mod metrics;
+pub mod modespace;
 pub mod oed;
 pub mod phase1;
 pub mod phase2;
@@ -68,6 +69,7 @@ pub use event::SyntheticEvent;
 pub use evidence::{calibrate_noise, log_bayes_factor, log_evidence};
 pub use goal::{GoalLadder, GoalOptions, GoalRung};
 pub use lti::{build_maps, LtiBayesEngine, LtiModel};
+pub use modespace::{ModeSpaceLadder, ModeSpaceOptions, ModeSpaceRung};
 pub use oed::{greedy_design, Criterion, OedCandidates, SensorDesign};
 pub use phase1::Phase1;
 pub use phase2::Phase2;

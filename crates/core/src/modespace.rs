@@ -1,0 +1,597 @@
+//! Mode-space assimilation: per-rung inference/forecast operators
+//! projected into the rank-`r` POD observation basis, so the *whole*
+//! streaming tick — identify, assimilate, forecast, classify — scales
+//! with the POD rank instead of the observation dimension.
+//!
+//! PR 7 moved scenario identification into POD mode space and the
+//! goal-oriented ladder ([`crate::goal`]) made forecasting rank-sized,
+//! but the windowed assimilation panels still gathered `k = w·Nd` data
+//! rows per session and paid `O(Nq·Nt × k)` per rung online. The source
+//! paper (arXiv:2504.16344) gets its real-time guarantee precisely by
+//! keeping every online operation independent of the full observation
+//! dimension; this module closes that gap for assimilation.
+//!
+//! ## The reduced operators
+//!
+//! Let `U` be the `(Nd·Nt) × r` POD basis (orthonormal columns) and
+//! `U_k` its leading `k` rows — the restriction every partially observed
+//! stream projects through (`a_w = U_kᵀ d_k`, the same running
+//! projection mode-space identification already maintains). `U_k` is
+//! *not* orthonormal (restricting rows breaks column orthogonality), so
+//! the reduced forecast operator absorbs the Gram pseudo-inverse
+//! offline:
+//!
+//! ```text
+//!   F̃_w = T_w · U_k (U_kᵀ U_k)⁺          (Nq·Nt × r),
+//! ```
+//!
+//! built from one randomized SVD of `U_k` per rung
+//! ([`tsunami_linalg::TruncatedSvd::pinv_transpose`]). Then
+//! `F̃_w U_kᵀ = T_w P_w` with `P_w` the orthogonal projector onto
+//! `range(U_k)`, and the *exactly computed* Frobenius residual
+//!
+//! ```text
+//!   trunc_bound_w = ‖T_w − F̃_w U_kᵀ‖_F = ‖T_w (I − P_w)‖_F
+//! ```
+//!
+//! certifies every online forecast against the dense windowed operator:
+//! `‖q̂ − q‖₂ ≤ trunc_bound_w · ‖d_k‖₂` ([`ModeSpaceLadder::
+//! mean_error_bound`]). Two exactness regimes fall out for free: a rung
+//! whose restriction has full row rank (`rank(U_k) = k`, e.g. any rung
+//! of a complete square basis) has `P_w = I` and a roundoff-level
+//! bound, and data lying in the basis's span (`(I − P_w) d_k = 0`, e.g.
+//! clean curves of a losslessly compressed bank) are forecast exactly
+//! at *any* rank. The posterior std is data-independent and carried
+//! over unchanged from `crate::window::rung_operator` — bitwise the
+//! windowed forecaster's.
+//!
+//! With [`ModeSpaceOptions::inference`] set, the same Gram-absorbed
+//! projection reduces the windowed *parameter inference* operator
+//! `M_w = Gᵀ [K_w⁻¹ · ; 0]` to `M̃_w = M_w U_k (U_kᵀU_k)⁺`
+//! (`Nm·Nt × r`), with its own exactly computed residual — no
+//! leading-block Cholesky solve online at all.
+//!
+//! Per-rung SVD seeds are derived from the rung's window length exactly
+//! as [`crate::goal::GoalLadder`] derives its compression seeds, so
+//! rebuilds are bitwise reproducible across runs and shard counts.
+
+use crate::phase1::Phase1;
+use crate::phase2::Phase2;
+use crate::phase3::Phase3;
+use crate::phase4::ForecastBatch;
+use crate::window::{self, infer_window_batch};
+use rayon::prelude::*;
+use std::time::Instant;
+use tsunami_linalg::{randomized_svd, DMatrix, SvdOptions};
+
+/// Offline knobs for [`ModeSpaceLadder::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct ModeSpaceOptions {
+    /// Also build the reduced parameter-inference operators `M̃_w`
+    /// (needed for engine ticks with `infer: true`; the forecast-only
+    /// service skips the extra offline solves).
+    pub inference: bool,
+    /// Relative cutoff for the basis restriction's singular values when
+    /// absorbing the Gram pseudo-inverse: modes of `U_k` at or below
+    /// `gram_rtol · σ₀` are dropped instead of inverted through.
+    pub gram_rtol: f64,
+    /// Randomized-SVD knobs for the per-rung basis factorization (the
+    /// seed is varied per rung, as in [`crate::goal::GoalOptions`]).
+    pub svd: SvdOptions,
+}
+
+impl Default for ModeSpaceOptions {
+    fn default() -> Self {
+        ModeSpaceOptions {
+            inference: false,
+            gram_rtol: 1e-10,
+            svd: SvdOptions::default(),
+        }
+    }
+}
+
+/// One rung's reduced operators: everything the online tick applies to
+/// the rank-`r` projection state.
+pub struct ModeSpaceRung {
+    /// Reduced data-to-QoI operator `F̃_w = T_w U_k (U_kᵀU_k)⁺`
+    /// (`Nq·Nt × r`): one `r × B` GEMM forecasts a whole panel.
+    pub q_map: DMatrix,
+    /// Exactly computed residual `‖T_w − F̃_w U_kᵀ‖_F = ‖T_w(I−P_w)‖_F`.
+    /// For any window data `d_k` the forecast-mean error against the
+    /// dense windowed operator is bounded by `trunc_bound · ‖d_k‖₂`.
+    pub trunc_bound: f64,
+    /// Reduced parameter-inference operator `M̃_w` (`Nm·Nt × r`; only
+    /// with [`ModeSpaceOptions::inference`]).
+    pub m_map: Option<DMatrix>,
+    /// Exactly computed residual `‖M_w − M̃_w U_kᵀ‖_F` (0 when `m_map`
+    /// was not built).
+    pub m_trunc_bound: f64,
+}
+
+/// The mode-space assimilation ladder: per-rung reduced operators over a
+/// shared POD observation basis, plus the data-independent posterior
+/// stds. Built offline once; the online tick is `r`-sized folds and
+/// `r × B` GEMMs only (`AssimilateBackend::ModeSpace` in the stream
+/// crate).
+pub struct ModeSpaceLadder {
+    /// Window lengths in observation steps, strictly increasing (same
+    /// normalization as [`crate::window::WindowedForecaster::build`]).
+    pub windows: Vec<usize>,
+    /// Per-rung reduced operators, aligned with `windows`.
+    pub rungs: Vec<ModeSpaceRung>,
+    /// Per-rung forecast standard deviations — identical to the windowed
+    /// forecaster's (the posterior std is data-independent, so reduction
+    /// does not touch it).
+    pub q_stds: Vec<Vec<f64>>,
+    /// Number of sensors `Nd` (data entries per observation step).
+    pub nd: usize,
+    /// The POD observation basis `U` (`(Nd·Nt) × r`, owned) the online
+    /// fold projects through — must be the *same* basis the engine's
+    /// identification `PodBank` holds when the fold is shared.
+    modes: DMatrix,
+}
+
+impl ModeSpaceLadder {
+    /// Precompute the reduced ladder from the offline phases and a POD
+    /// observation basis (`modes`: `(Nd·Nt) × r`, e.g.
+    /// [`crate::PodBank::modes`]). Each rung's dense `T_w` is
+    /// materialized once (`window::rung_operator` — bitwise the
+    /// windowed forecaster's operator), projected, bounded, and dropped.
+    pub fn build(
+        p1: &Phase1,
+        p2: &Phase2,
+        p3: &Phase3,
+        windows: &[usize],
+        modes: &DMatrix,
+        opts: &ModeSpaceOptions,
+    ) -> Self {
+        let nd = p1.f.out_dim;
+        assert_eq!(
+            modes.nrows(),
+            nd * p1.f.nt,
+            "POD basis and twin disagree on the data dimension"
+        );
+        assert!(
+            modes.ncols() >= 1,
+            "mode-space ladder needs a nonempty basis"
+        );
+        let ws = window::normalize_windows(windows, p1.f.nt);
+        let per_rung: Vec<(ModeSpaceRung, Vec<f64>)> = ws
+            .par_iter()
+            .map(|&w| reduce_rung(p1, p2, p3, w, nd, modes, opts))
+            .collect();
+        let (rungs, q_stds) = per_rung.into_iter().unzip();
+        ModeSpaceLadder {
+            windows: ws,
+            rungs,
+            q_stds,
+            nd,
+            modes: modes.clone(),
+        }
+    }
+
+    /// The shared POD observation basis `U` (`(Nd·Nt) × r`).
+    pub fn modes(&self) -> &DMatrix {
+        &self.modes
+    }
+
+    /// Basis rank `r` — the per-stream fold-state length per rung.
+    pub fn rank(&self) -> usize {
+        self.modes.ncols()
+    }
+
+    /// True when the reduced inference operators were built
+    /// ([`ModeSpaceOptions::inference`]).
+    pub fn has_inference(&self) -> bool {
+        self.rungs.iter().all(|r| r.m_map.is_some())
+    }
+
+    /// Index of the widest precomputed window not exceeding `steps`
+    /// (same contract as the windowed forecaster's `window_for`).
+    pub fn window_for(&self, steps: usize) -> Option<usize> {
+        self.windows.iter().rposition(|&w| w <= steps)
+    }
+
+    /// Forecast-mean error bound at rung `i` for window data of 2-norm
+    /// `d_norm`: `‖q̂ − q‖₂ ≤ trunc_bound · d_norm` against the dense
+    /// windowed forecast.
+    pub fn mean_error_bound(&self, i: usize, d_norm: f64) -> f64 {
+        self.rungs[i].trunc_bound * d_norm
+    }
+
+    /// Inference-mean error bound at rung `i` (same shape as
+    /// [`Self::mean_error_bound`]; 0 without reduced inference).
+    pub fn inference_error_bound(&self, i: usize, d_norm: f64) -> f64 {
+        self.rungs[i].m_trunc_bound * d_norm
+    }
+
+    /// One-shot mode-space forecast of a window-data block (project +
+    /// reduced GEMM) — the reference the streaming engine's shared
+    /// incremental fold is tested against. `d_window` is
+    /// `windows[i]·Nd × B`.
+    pub fn forecast_batch(&self, i: usize, d_window: &DMatrix) -> ForecastBatch {
+        let t0 = Instant::now();
+        let k = self.windows[i] * self.nd;
+        assert_eq!(d_window.nrows(), k, "window {i} expects {k} data rows");
+        let u_k = self.basis_restriction(k);
+        let a = u_k.matmul_tn(d_window); // r × B projection
+        ForecastBatch {
+            q_map: self.rungs[i].q_map.matmul(&a),
+            q_std: self.q_stds[i].clone(),
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Resident elements of the reduced ladder (basis + per-rung
+    /// operators) — compare with [`Self::windowed_resident_elems`].
+    pub fn resident_elems(&self) -> usize {
+        self.modes.nrows() * self.modes.ncols()
+            + self
+                .rungs
+                .iter()
+                .map(|r| {
+                    r.q_map.nrows() * r.q_map.ncols()
+                        + r.m_map.as_ref().map_or(0, |m| m.nrows() * m.ncols())
+                })
+                .sum::<usize>()
+    }
+
+    /// Resident elements the dense windowed ladder holds for the same
+    /// rungs (`Σ Nq·Nt × w·Nd`).
+    pub fn windowed_resident_elems(&self) -> usize {
+        let nq = self.q_stds.first().map_or(0, |s| s.len());
+        self.windows.iter().map(|&w| nq * w * self.nd).sum()
+    }
+
+    /// The leading `k` rows of the basis as a dense block (offline /
+    /// reference use only — the online fold streams the rows in place).
+    fn basis_restriction(&self, k: usize) -> DMatrix {
+        DMatrix::from_fn(k, self.rank(), |i, j| self.modes[(i, j)])
+    }
+}
+
+/// Reduce one rung: materialize `T_w`, absorb the Gram pseudo-inverse of
+/// the basis restriction, and compute the exact residual bounds. The SVD
+/// seed is varied per rung by the same window-length mix as the
+/// goal-oriented ladder, so rebuilds are bitwise reproducible.
+fn reduce_rung(
+    p1: &Phase1,
+    p2: &Phase2,
+    p3: &Phase3,
+    w: usize,
+    nd: usize,
+    modes: &DMatrix,
+    opts: &ModeSpaceOptions,
+) -> (ModeSpaceRung, Vec<f64>) {
+    let k = w * nd;
+    let r = modes.ncols();
+    let (t_w, std) = window::rung_operator(p2, p3, k);
+    let u_k = DMatrix::from_fn(k, r, |i, j| modes[(i, j)]);
+    let svd = {
+        let seeded = SvdOptions {
+            seed: opts.svd.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..opts.svd
+        };
+        randomized_svd(&u_k, r, seeded)
+    };
+    // X = U_k (U_kᵀU_k)⁺ (k × r): the offline Gram absorption. The online
+    // fold then stays the raw shared projection a = U_kᵀ d.
+    let x = svd.pinv_transpose(opts.gram_rtol);
+    let q_map = t_w.matmul(&x);
+
+    // Exact residual ‖T_w − F̃_w U_kᵀ‖_F, materialized once and dropped.
+    let mut diff = q_map.matmul_nt(&u_k);
+    diff.add_scaled(-1.0, &t_w);
+    let trunc_bound = diff.norm_fro();
+    drop(t_w);
+
+    let (m_map, m_trunc_bound) = if opts.inference {
+        // Dense M_w via the batched windowed inference on the identity —
+        // offline-only cost; the reduced operator is its projection and
+        // the residual is exact by construction.
+        let m_dense = infer_window_batch(p1, p2, &DMatrix::identity(k), w).m_map;
+        let m_red = m_dense.matmul(&x);
+        let mut m_diff = m_red.matmul_nt(&u_k);
+        m_diff.add_scaled(-1.0, &m_dense);
+        (Some(m_red), m_diff.norm_fro())
+    } else {
+        (None, 0.0)
+    };
+
+    (
+        ModeSpaceRung {
+            q_map,
+            trunc_bound,
+            m_map,
+            m_trunc_bound,
+        },
+        std,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TwinConfig;
+    use crate::twin::DigitalTwin;
+    use crate::window::WindowedForecaster;
+    use tsunami_linalg::svd::orthonormalize;
+
+    fn setup() -> DigitalTwin {
+        DigitalTwin::offline(TwinConfig::tiny(), 0.03)
+    }
+
+    /// A deterministic full orthogonal basis of the twin's data space
+    /// (square `n × n`): every rung restriction has orthonormal rows, so
+    /// the reduced ladder must reproduce the dense one on arbitrary data.
+    fn complete_basis(n: usize) -> DMatrix {
+        let mut m = DMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                0.3 * ((i * 7 + j * 3) as f64 * 0.41).sin()
+            }
+        });
+        let kept = orthonormalize(&mut m);
+        assert_eq!(kept, n, "basis must be complete");
+        m
+    }
+
+    /// A genuinely rank-`r` basis: leading SVD modes of a smooth block
+    /// plus a small identity shift (the smooth part alone has numerical
+    /// rank 4, which would silently clip every requested rank to 4).
+    fn truncated_basis(n: usize, r: usize) -> DMatrix {
+        let block = DMatrix::from_fn(n, n, |i, j| {
+            let smooth =
+                ((i * 3 + 2 * j) as f64 * 0.11).sin() + 0.4 * ((i + 5 * j) as f64 * 0.07).cos();
+            smooth + if i == j { 0.05 } else { 0.0 }
+        });
+        let svd = randomized_svd(&block, r, SvdOptions::default());
+        assert_eq!(svd.u.ncols(), r, "generator block must have rank >= {r}");
+        svd.u
+    }
+
+    #[test]
+    fn complete_basis_reproduces_the_windowed_forecaster() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n = twin.n_data();
+        let wf = twin.windowed(&[nt / 2, nt]);
+        let ms = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt / 2, nt],
+            &complete_basis(n),
+            &ModeSpaceOptions::default(),
+        );
+        assert_eq!(ms.windows, wf.windows);
+        for i in 0..ms.windows.len() {
+            let k = ms.windows[i] * ms.nd;
+            // Rank(U_k) = k (orthonormal rows): the projector is the
+            // identity and the certified bound collapses to roundoff.
+            assert!(
+                ms.rungs[i].trunc_bound < 1e-8,
+                "rung {i} bound {} should be roundoff",
+                ms.rungs[i].trunc_bound
+            );
+            let d = DMatrix::from_fn(k, 3, |r, c| ((r * 5 + 3 * c) as f64 * 0.13).sin());
+            let dense = wf.forecast_batch(i, &d);
+            let reduced = ms.forecast_batch(i, &d);
+            // Same answer within cancellation slack (the projection round
+            // trip is not bitwise), same std bitwise.
+            let scale = dense.q_map.norm_fro().max(1e-300);
+            let mut diff = reduced.q_map.clone();
+            diff.add_scaled(-1.0, &dense.q_map);
+            assert!(
+                diff.norm_fro() < 1e-9 * scale,
+                "rung {i}: reduced forecast drifted {}",
+                diff.norm_fro() / scale
+            );
+            assert_eq!(reduced.q_std, dense.q_std);
+        }
+    }
+
+    #[test]
+    fn truncated_basis_stays_within_its_certified_bound() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n = twin.n_data();
+        let wf = twin.windowed(&[nt / 2, nt]);
+        let ms = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt / 2, nt],
+            &truncated_basis(n, 6),
+            &ModeSpaceOptions::default(),
+        );
+        for i in 0..ms.windows.len() {
+            let k = ms.windows[i] * ms.nd;
+            let d: Vec<f64> = (0..k).map(|r| (r as f64 * 0.21).cos()).collect();
+            let d_norm = d.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let db = DMatrix::from_vec(k, 1, d);
+            let dense = wf.forecast_batch(i, &db);
+            let reduced = ms.forecast_batch(i, &db);
+            let err: f64 = reduced
+                .q_map
+                .as_slice()
+                .iter()
+                .zip(dense.q_map.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let bound = ms.mean_error_bound(i, d_norm);
+            assert!(
+                ms.rungs[i].trunc_bound > 0.0 || k <= ms.rank(),
+                "rung {i} should truncate"
+            );
+            assert!(
+                err <= bound + 1e-12,
+                "rung {i}: error {err} exceeds certified bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_span_data_is_forecast_exactly_at_any_rank() {
+        // Data in the basis's span are reproduced regardless of
+        // truncation: the residual operator annihilates them.
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n = twin.n_data();
+        let basis = truncated_basis(n, 4);
+        let ms = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt],
+            &basis,
+            &ModeSpaceOptions::default(),
+        );
+        let wf = twin.windowed(&[nt]);
+        // d = U c for a fixed coefficient vector.
+        let c = DMatrix::from_fn(4, 1, |i, _| (i as f64 + 1.0) * 0.3);
+        let d = basis.matmul(&c);
+        let dense = wf.forecast_batch(0, &d);
+        let reduced = ms.forecast_batch(0, &d);
+        let scale = dense.q_map.norm_fro().max(1e-300);
+        let mut diff = reduced.q_map.clone();
+        diff.add_scaled(-1.0, &dense.q_map);
+        assert!(
+            diff.norm_fro() < 1e-9 * scale,
+            "in-span data must forecast exactly: {}",
+            diff.norm_fro() / scale
+        );
+    }
+
+    #[test]
+    fn reduced_inference_tracks_the_windowed_inference() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n = twin.n_data();
+        let opts = ModeSpaceOptions {
+            inference: true,
+            ..ModeSpaceOptions::default()
+        };
+        let ms = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt / 2, nt],
+            &complete_basis(n),
+            &opts,
+        );
+        assert!(ms.has_inference());
+        for i in 0..ms.windows.len() {
+            let k = ms.windows[i] * ms.nd;
+            assert!(ms.rungs[i].m_trunc_bound < 1e-8, "rung {i} m-bound");
+            let d = DMatrix::from_fn(k, 2, |r, c| ((r + 3 * c) as f64 * 0.17).cos());
+            let dense = infer_window_batch(&twin.phase1, &twin.phase2, &d, ms.windows[i]).m_map;
+            let u_k = DMatrix::from_fn(k, ms.rank(), |r, c| ms.modes()[(r, c)]);
+            let a = u_k.matmul_tn(&d);
+            let reduced = ms.rungs[i].m_map.as_ref().unwrap().matmul(&a);
+            let scale = dense.norm_fro().max(1e-300);
+            let mut diff = reduced;
+            diff.add_scaled(-1.0, &dense);
+            assert!(
+                diff.norm_fro() < 1e-8 * scale,
+                "rung {i}: reduced inference drifted {}",
+                diff.norm_fro() / scale
+            );
+        }
+    }
+
+    #[test]
+    fn rebuilds_are_bitwise_reproducible_and_seeded_per_rung() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n = twin.n_data();
+        let basis = truncated_basis(n, 5);
+        let opts = ModeSpaceOptions::default();
+        let a = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt / 2, nt],
+            &basis,
+            &opts,
+        );
+        let b = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt / 2, nt],
+            &basis,
+            &opts,
+        );
+        for i in 0..a.rungs.len() {
+            // The regression pin: identical options must reproduce every
+            // reduced factor bit for bit (per-rung seeds are derived, not
+            // drawn from shared state).
+            assert_eq!(
+                a.rungs[i].q_map.as_slice(),
+                b.rungs[i].q_map.as_slice(),
+                "rung {i} not reproducible"
+            );
+            assert_eq!(a.rungs[i].trunc_bound, b.rungs[i].trunc_bound);
+        }
+        // A different base seed draws different test matrices — the seed
+        // actually reaches the factorization.
+        let other = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[nt / 2, nt],
+            &basis,
+            &ModeSpaceOptions {
+                svd: SvdOptions {
+                    seed: 0xDEAD_BEEF,
+                    ..SvdOptions::default()
+                },
+                ..opts
+            },
+        );
+        assert!(
+            a.rungs[0].q_map.as_slice() != other.rungs[0].q_map.as_slice(),
+            "base seed must reach the per-rung factorizations"
+        );
+    }
+
+    #[test]
+    fn ladder_normalizes_windows_and_sizes_like_the_forecaster() {
+        let twin = setup();
+        let nt = twin.solver.grid.nt_obs;
+        let n = twin.n_data();
+        let basis = truncated_basis(n, 3);
+        let ms = ModeSpaceLadder::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[2, 1, nt, 2, nt + 7],
+            &basis,
+            &ModeSpaceOptions::default(),
+        );
+        assert_eq!(ms.windows, vec![1, 2, nt]);
+        assert_eq!(ms.rank(), 3);
+        assert_eq!(ms.window_for(0), None);
+        assert_eq!(ms.window_for(1), Some(0));
+        assert_eq!(ms.window_for(nt + 5), Some(2));
+        assert!(!ms.has_inference());
+        assert!(
+            ms.resident_elems() < ms.windowed_resident_elems() + n * 3,
+            "reduced ladder should be rank-sized: {} vs dense {}",
+            ms.resident_elems(),
+            ms.windowed_resident_elems()
+        );
+        let wf = WindowedForecaster::build(
+            &twin.phase1,
+            &twin.phase2,
+            &twin.phase3,
+            &[2, 1, nt, 2, nt + 7],
+        );
+        for i in 0..ms.windows.len() {
+            assert_eq!(ms.q_stds[i], wf.q_stds[i], "stds must carry over bitwise");
+        }
+    }
+}

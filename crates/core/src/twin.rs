@@ -97,6 +97,28 @@ impl DigitalTwin {
         crate::goal::GoalLadder::build(&self.phase1, &self.phase2, &self.phase3, windows, opts)
     }
 
+    /// Precompute the mode-space assimilation ladder for a window ladder:
+    /// per-rung inference/forecast operators projected into the rank-`r`
+    /// POD observation basis, so the online tick is `r`-sized folds and
+    /// `r × B` GEMMs with an exactly certified truncation bound (see
+    /// [`crate::modespace`]). `modes` is the shared observation basis
+    /// (e.g. [`crate::PodBank::modes`]).
+    pub fn mode_space_ladder(
+        &self,
+        windows: &[usize],
+        modes: &tsunami_linalg::DMatrix,
+        opts: &crate::modespace::ModeSpaceOptions,
+    ) -> crate::modespace::ModeSpaceLadder {
+        crate::modespace::ModeSpaceLadder::build(
+            &self.phase1,
+            &self.phase2,
+            &self.phase3,
+            windows,
+            modes,
+            opts,
+        )
+    }
+
     /// Pointwise posterior std of final displacement (Fig 3e analogue).
     pub fn displacement_uncertainty(&self) -> Vec<f64> {
         crate::posterior::displacement_std(

@@ -50,6 +50,30 @@ impl TruncatedSvd {
     pub fn energy(&self) -> f64 {
         self.s.iter().map(|s| s * s).sum()
     }
+
+    /// The transposed Moore–Penrose pseudo-inverse of the decomposed
+    /// matrix, `(A⁺)ᵀ = U Σ⁻¹ Vᵀ` (`n × B` for an `n × B` input). Singular
+    /// values at or below `rtol · σ₀` are treated as zero — their modes
+    /// are dropped from the inverse instead of amplifying noise — so the
+    /// product is the pseudo-inverse of the *numerical* rank.
+    ///
+    /// The identity this serves: for `A` with the SVD `A = U Σ Vᵀ`,
+    /// `A (AᵀA)⁺ = U Σ⁻¹ Vᵀ`, which is how a precomputed operator absorbs
+    /// the Gram pseudo-inverse of a non-orthonormal basis restriction in
+    /// one factor (see `tsunami-core`'s mode-space ladder).
+    pub fn pinv_transpose(&self, rtol: f64) -> DMatrix {
+        let cut = self.s.first().copied().unwrap_or(0.0) * rtol.max(0.0);
+        // Scale U's columns by 1/σ (zero for dropped modes), then rotate
+        // by Vᵀ: (A⁺)ᵀ = (U Σ⁻¹) Vᵀ.
+        let u_scaled = DMatrix::from_fn(self.u.nrows(), self.rank(), |i, j| {
+            if self.s[j] > cut && self.s[j] > 1e-300 {
+                self.u[(i, j)] / self.s[j]
+            } else {
+                0.0
+            }
+        });
+        u_scaled.matmul(&self.vt)
+    }
 }
 
 /// Knobs for [`randomized_svd`]. The defaults (8 extra sample columns,
@@ -281,6 +305,50 @@ mod tests {
             "truncation error {} far above optimal {opt}",
             diff.norm_fro()
         );
+    }
+
+    #[test]
+    fn pinv_transpose_inverts_the_gram_matrix() {
+        // For full-column-rank A, A⁺A = I, so Xᵀ = A⁺ from the SVD must
+        // satisfy XᵀA = I and A·X·(anything) reproduces the orthogonal
+        // projector onto range(A): A Xᵀ... here check XᵀA = I directly.
+        let a = rand_mat(40, 9, 17);
+        let svd = randomized_svd(&a, 9, SvdOptions::default());
+        let x = svd.pinv_transpose(1e-12); // 40 × 9, columns = rows of A⁺
+        let xta = x.matmul_tn(&a); // (A⁺) A, 9 × 9
+        let mut d = xta;
+        d.add_scaled(-1.0, &DMatrix::identity(9));
+        assert!(d.norm_fro() < 1e-9, "A⁺A drifted from identity");
+        // A (AᵀA)⁺ AᵀA = A: the Gram-absorption identity the mode-space
+        // ladder relies on.
+        let gram = a.matmul_tn(&a);
+        let mut rec = x.matmul(&gram);
+        rec.add_scaled(-1.0, &a);
+        assert!(rec.norm_fro() < 1e-8 * a.norm_fro());
+    }
+
+    #[test]
+    fn pinv_transpose_drops_sub_rtol_modes() {
+        // A numerically rank-1 matrix: the second singular value sits at
+        // 1e-14·σ₀ and must not be inverted through.
+        let u = {
+            let mut m = rand_mat(20, 2, 31);
+            orthonormalize(&mut m);
+            m
+        };
+        let v = {
+            let mut m = rand_mat(6, 2, 32);
+            orthonormalize(&mut m);
+            m
+        };
+        let sv = DMatrix::from_fn(2, 6, |i, j| v[(j, i)] * if i == 0 { 1.0 } else { 1e-14 });
+        let a = u.matmul(&sv);
+        let svd = randomized_svd(&a, 2, SvdOptions::default());
+        let x = svd.pinv_transpose(1e-10);
+        // Every entry of the pseudo-inverse stays O(1/σ₀): the 1e14
+        // blow-up of the dropped mode never appears.
+        let max = x.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max < 1e3, "dropped mode leaked into the inverse: {max}");
     }
 
     #[test]

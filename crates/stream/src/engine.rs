@@ -27,7 +27,15 @@
 //!    ([`tsunami_core::infer_window_batch`] /
 //!    [`tsunami_core::WindowedForecaster::forecast_batch`]), so the whole
 //!    group pays one leading-block factor walk per panel instead of one
-//!    per session.
+//!    per session. With a [`ModeSpaceLadder`] attached and
+//!    [`AssimilateBackend::ModeSpace`] selected, the rung groups skip
+//!    the window panels and leading-block solves entirely: drained rows
+//!    fold once into each session's rank-`r` POD projection — *shared*
+//!    with mode-space identification when both backends are mode-space,
+//!    so no row is ever folded twice ([`TickMetrics::samples_projected`])
+//!    — and inference + forecast materialize from `r × B` GEMMs against
+//!    the precomputed reduced operators, certified by per-rung
+//!    truncation bounds ([`tsunami_core::ModeSpaceRung::trunc_bound`]).
 //! 4. **Classification** — each assimilated session's forecast band is
 //!    classified against the warning threshold.
 //!
@@ -85,7 +93,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tsunami_core::window::infer_window_batch;
 use tsunami_core::{
-    DigitalTwin, Forecast, ForecastBatch, GoalLadder, PodBank, ScenarioBank, WindowedForecaster,
+    DigitalTwin, Forecast, ForecastBatch, GoalLadder, ModeSpaceLadder, PodBank, ScenarioBank,
+    WindowedForecaster,
 };
 use tsunami_linalg::DMatrix;
 use tsunami_obs::{AuditRing, Counter, Gauge, Histogram, Registry, Stopwatch};
@@ -133,6 +142,38 @@ pub enum ForecastBackend {
     GoalOriented,
 }
 
+/// Which assimilation path a tick's stage 3 runs. Orthogonal to
+/// [`ForecastBackend`]: `FullSpace` keeps stage 3 on the configured
+/// forecast backend; `ModeSpace` supersedes it entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AssimilateBackend {
+    /// Stage 3 runs the configured [`ForecastBackend`] unchanged — the
+    /// windowed path's leading-block solves act in full observation
+    /// space.
+    #[default]
+    FullSpace,
+    /// Mode-space assimilation ([`ModeSpaceLadder`]): drained samples
+    /// fold **once** into a per-session rank-`r` POD projection
+    /// (`a += U_kᵀ d`, snapshotted at every rung boundary), and a rung
+    /// crossing materializes inference + forecast + classification
+    /// entirely from `r × B` GEMMs against the precomputed reduced
+    /// operators — no full-space window panel, no leading-block solve
+    /// online. When identification is also
+    /// [`IdentifyBackend::ModeSpace`] over the *same* basis, the fold
+    /// is shared with the identification projection (each drained row
+    /// is folded exactly once per tick;
+    /// [`TickMetrics::samples_projected`] proves it). A complete
+    /// (square) basis reproduces the windowed engine within
+    /// cancellation slack; truncated ranks are certified by each rung's
+    /// [`tsunami_core::ModeSpaceRung::trunc_bound`]. Unlike
+    /// [`ForecastBackend::GoalOriented`], [`StreamConfig::infer`] is
+    /// honored: the reduced `M̃_w` GEMM fills
+    /// [`StreamSession::m_norm`] when the ladder was built with
+    /// [`tsunami_core::ModeSpaceOptions::inference`]. Requires a ladder
+    /// ([`StreamEngine::mode_space`] / [`StreamEngine::with_modespace`]).
+    ModeSpace,
+}
+
 /// Engine knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct StreamConfig {
@@ -156,6 +197,10 @@ pub struct StreamConfig {
     /// [`ForecastBackend::GoalOriented`] needs an attached
     /// [`GoalLadder`]).
     pub forecast: ForecastBackend,
+    /// Assimilation backend ([`AssimilateBackend::FullSpace`] by
+    /// default; [`AssimilateBackend::ModeSpace`] needs an attached
+    /// [`ModeSpaceLadder`] and supersedes `forecast` in stage 3).
+    pub assimilate: AssimilateBackend,
     /// Capacity of the warning audit ring ([`StreamEngine::audit`]): the
     /// newest this many [`WarningTransition`] records are retained, older
     /// ones evicted with accounting. Must be ≥ 1.
@@ -171,6 +216,7 @@ impl Default for StreamConfig {
             shards: 1,
             identify: IdentifyBackend::Exact,
             forecast: ForecastBackend::Windowed,
+            assimilate: AssimilateBackend::FullSpace,
             audit_capacity: 1024,
         }
     }
@@ -200,6 +246,13 @@ pub struct TickMetrics {
     /// Newly arrived samples folded into goal-oriented per-rung states
     /// this tick (0 under [`ForecastBackend::Windowed`]).
     pub samples_folded: usize,
+    /// Newly arrived samples folded into POD running projections this
+    /// tick — counted **once per row** even when mode-space
+    /// identification and mode-space assimilation share the fold (the
+    /// no-double-fold guarantee of [`AssimilateBackend::ModeSpace`]:
+    /// with both backends mode-space this equals the rows that arrived,
+    /// never 2×).
+    pub samples_projected: usize,
     /// Samples accepted from the lock-free inboxes this tick (the
     /// [`StreamEngine::enqueue`] path; direct pushes count at push time).
     pub samples_drained: usize,
@@ -289,8 +342,13 @@ pub struct WarningTransition {
     /// session's identification posterior at classification time — `None`
     /// when no scenario bank is attached.
     pub top_scenario: Option<(usize, f64)>,
-    /// Forecast backend that produced the classified forecast.
+    /// Forecast backend configured at classification time. When
+    /// `assimilate` is [`AssimilateBackend::ModeSpace`] the stage-3 path
+    /// was the mode-space one and this records the superseded setting.
     pub backend: ForecastBackend,
+    /// Assimilation backend that actually produced the classified
+    /// forecast.
+    pub assimilate: AssimilateBackend,
 }
 
 /// Cached per-stage span histogram handles into the engine's
@@ -325,6 +383,7 @@ struct EngineCounters {
     drained: Arc<Counter>,
     scored: Arc<Counter>,
     folded: Arc<Counter>,
+    projected: Arc<Counter>,
     transitions: Arc<Counter>,
     pool_jobs: Arc<Gauge>,
     pool_handoffs: Arc<Gauge>,
@@ -343,6 +402,7 @@ impl EngineCounters {
             drained: reg.counter("stream.samples.drained"),
             scored: reg.counter("stream.samples.scored"),
             folded: reg.counter("stream.samples.folded"),
+            projected: reg.counter("stream.samples.projected"),
             transitions: reg.counter("stream.warnings.transitions"),
             pool_jobs: reg.gauge("pool.jobs"),
             pool_handoffs: reg.gauge("pool.handoffs"),
@@ -450,6 +510,7 @@ struct ShardTick {
     panels: usize,
     samples_scored: usize,
     samples_folded: usize,
+    samples_projected: usize,
     samples_drained: usize,
     peak_panel_elems: usize,
 }
@@ -465,11 +526,16 @@ struct ShardTick {
 struct ShardArena {
     panel: Vec<f64>,
     q_block: Vec<f64>,
+    /// Mode-space reduced-inference output block `(Nm·Nt) × b` (only
+    /// touched by [`AssimilateBackend::ModeSpace`] ticks with
+    /// [`StreamConfig::infer`]).
+    m_block: Vec<f64>,
 }
 
 impl ShardArena {
     fn bytes(&self) -> usize {
-        (self.panel.capacity() + self.q_block.capacity()) * std::mem::size_of::<f64>()
+        (self.panel.capacity() + self.q_block.capacity() + self.m_block.capacity())
+            * std::mem::size_of::<f64>()
     }
 }
 
@@ -518,6 +584,7 @@ struct TickCtx<'t> {
     goal: Option<&'t GoalLadder>,
     bank: Option<&'t ScenarioBank>,
     pod: Option<&'t PodBank>,
+    modespace: Option<&'t ModeSpaceLadder>,
     sq_prefix: &'t [f64],
     config: StreamConfig,
     n_shards: usize,
@@ -536,8 +603,23 @@ struct TickCtx<'t> {
 }
 
 impl TickCtx<'_> {
+    /// True when mode-space identification and mode-space assimilation
+    /// fold the drained rows into the *same* per-session projection
+    /// (`pod_coeff`) — the no-double-fold configuration.
+    fn shared_fold(&self) -> bool {
+        self.bank.is_some()
+            && self.config.identify == IdentifyBackend::ModeSpace
+            && self.config.assimilate == AssimilateBackend::ModeSpace
+    }
+
     /// The active backend's window ladder (lengths in observation steps).
     fn windows(&self) -> &[usize] {
+        if self.config.assimilate == AssimilateBackend::ModeSpace {
+            return &self
+                .modespace
+                .expect("mode-space assimilation without a ladder")
+                .windows;
+        }
         match self.config.forecast {
             ForecastBackend::Windowed => {
                 &self
@@ -561,6 +643,9 @@ pub struct StreamEngine<'a> {
     bank: Option<&'a ScenarioBank>,
     /// POD compression of the attached bank (mode-space identification).
     pod: Option<&'a PodBank>,
+    /// Reduced per-rung operators over the POD observation basis
+    /// (mode-space assimilation).
+    modespace: Option<&'a ModeSpaceLadder>,
     /// Prefix sums of the bank's squared clean observations
     /// ([`identify::sq_prefix`]), computed once at attach time.
     bank_sq_prefix: Vec<f64>,
@@ -622,6 +707,21 @@ impl<'a> StreamEngine<'a> {
         Self::with_backends(twin, None, Some(goal), config)
     }
 
+    /// A mode-space engine: assimilation runs entirely through the
+    /// precomputed reduced ladder ([`AssimilateBackend::ModeSpace`] is
+    /// forced), so no dense [`WindowedForecaster`] is needed and every
+    /// online stage — drain, identify, fold, assimilate, classify — is
+    /// rank-sized. The full-space engine stays available as the oracle
+    /// via [`StreamEngine::new`].
+    pub fn mode_space(
+        twin: &'a DigitalTwin,
+        ms: &'a ModeSpaceLadder,
+        mut config: StreamConfig,
+    ) -> Self {
+        config.assimilate = AssimilateBackend::ModeSpace;
+        Self::with_backends(twin, None, None, config).with_modespace(ms)
+    }
+
     fn with_backends(
         twin: &'a DigitalTwin,
         forecaster: Option<&'a WindowedForecaster>,
@@ -646,6 +746,7 @@ impl<'a> StreamEngine<'a> {
             goal,
             bank: None,
             pod: None,
+            modespace: None,
             bank_sq_prefix: Vec::new(),
             config,
             shards: (0..config.shards).map(Shard::new).collect(),
@@ -691,6 +792,51 @@ impl<'a> StreamEngine<'a> {
             s.goal_fold.resize(fold_len, 0.0);
         }
         self.goal = Some(goal);
+        self
+    }
+
+    /// Attach a mode-space assimilation ladder, enabling
+    /// [`AssimilateBackend::ModeSpace`] ticks. Every session gains the
+    /// rank-sized per-rung fold state. When a [`PodBank`] is also
+    /// attached (either order), the two must share the observation basis
+    /// bit for bit — that is what lets mode-space identification and
+    /// assimilation fold each drained row exactly once.
+    pub fn with_modespace(mut self, ms: &'a ModeSpaceLadder) -> Self {
+        assert_eq!(
+            ms.nd,
+            self.twin.solver.sensors.len(),
+            "mode-space ladder and twin disagree on the sensor count"
+        );
+        if let Some(wf) = self.forecaster {
+            assert_eq!(
+                ms.windows, wf.windows,
+                "mode-space ladder and forecaster disagree on the window ladder"
+            );
+        }
+        if let Some(goal) = self.goal {
+            assert_eq!(
+                ms.windows, goal.windows,
+                "mode-space ladder and goal ladder disagree on the window ladder"
+            );
+        }
+        if let Some(pod) = self.pod {
+            assert_same_basis(pod, ms);
+        }
+        for s in self.shards.iter().flat_map(|sh| &sh.sessions) {
+            assert!(
+                s.samples() == 0,
+                "attach the mode-space ladder before any samples arrive"
+            );
+        }
+        let (nr, r) = (ms.windows.len(), ms.rank());
+        for s in self.shards.iter_mut().flat_map(|sh| &mut sh.sessions) {
+            s.ms_fold.clear();
+            s.ms_fold.resize(nr * r, 0.0);
+            s.ms_proj.clear();
+            s.ms_proj.resize(r, 0.0);
+            s.ms_folded = 0;
+        }
+        self.modespace = Some(ms);
         self
     }
 
@@ -746,6 +892,9 @@ impl<'a> StreamEngine<'a> {
                 "attach the POD bank before any samples arrive"
             );
         }
+        if let Some(ms) = self.modespace {
+            assert_same_basis(pod, ms);
+        }
         let r = pod.rank();
         for s in self.shards.iter_mut().flat_map(|sh| &mut sh.sessions) {
             s.pod_coeff.clear();
@@ -782,18 +931,21 @@ impl<'a> StreamEngine<'a> {
         let n_scen = self.bank.map_or(0, |b| b.len());
         let n_modes = self.pod.map_or(0, |p| p.rank());
         let fold_len = self.goal.map_or(0, |g| g.fold_len());
+        let (ms_rungs, ms_rank) = self
+            .modespace
+            .map_or((0, 0), |m| (m.windows.len(), m.rank()));
         let si = self.next_open % n;
         self.next_open += 1;
         let nd = self.twin.solver.sensors.len();
         let capacity = self.twin.n_data();
         let shard = &mut self.shards[si];
         if let Some(local) = shard.free.pop() {
-            shard.sessions[local].reopen(n_scen, n_modes, fold_len);
+            shard.sessions[local].reopen(n_scen, n_modes, fold_len, ms_rungs, ms_rank);
             return shard.sessions[local].id;
         }
         let id = si + shard.sessions.len() * n;
         shard.sessions.push(StreamSession::new(
-            id, capacity, nd, n_scen, n_modes, fold_len,
+            id, capacity, nd, n_scen, n_modes, fold_len, ms_rungs, ms_rank,
         ));
         self.metrics.rings_allocated += 1;
         id
@@ -907,15 +1059,25 @@ impl<'a> StreamEngine<'a> {
     /// benchmarking support (identification scores are *not* reset — they
     /// are a pure function of the arrived samples).
     ///
-    /// The goal-oriented fold state *is* reset (it is re-derived from the
-    /// ring, zeroing avoids double-folding the same samples), so the next
-    /// tick refolds `[0, filled)` in one pass — bit-identical to a fresh
-    /// engine that received the whole stream in one push.
+    /// The goal-oriented and mode-space fold states *are* reset (they are
+    /// re-derived from the ring; zeroing avoids double-folding the same
+    /// samples), so the next tick refolds `[0, filled)` in one pass —
+    /// bit-identical to a fresh engine that received the whole stream in
+    /// one push. Under the shared mode-space fold (identification *and*
+    /// assimilation both [`IdentifyBackend::ModeSpace`] /
+    /// [`AssimilateBackend::ModeSpace`]), the identification projection
+    /// carries the assimilation state, so `scored`, the running
+    /// projection, and the data energy reset with it — safe because the
+    /// mode-space misfit is *materialized* from the projection each pass,
+    /// never accumulated, and the refold reproduces it exactly.
     ///
     /// Warning levels reset to [`WarningLevel::AllClear`] as well, so a
     /// replay re-classifies from scratch and the audit ring records the
     /// same transition sequence the original stream produced.
     pub fn rewind(&mut self) {
+        let shared = self.bank.is_some()
+            && self.config.identify == IdentifyBackend::ModeSpace
+            && self.config.assimilate == AssimilateBackend::ModeSpace;
         for s in self
             .shards
             .iter_mut()
@@ -925,6 +1087,15 @@ impl<'a> StreamEngine<'a> {
             s.window_idx = None;
             s.folded = 0;
             s.goal_fold.fill(0.0);
+            s.ms_fold.fill(0.0);
+            s.ms_proj.fill(0.0);
+            s.ms_folded = 0;
+            if shared {
+                s.scored = 0;
+                s.pod_coeff.fill(0.0);
+                s.data_energy = 0.0;
+                s.data_energy_comp = 0.0;
+            }
             s.level = WarningLevel::AllClear;
         }
     }
@@ -941,23 +1112,39 @@ impl<'a> StreamEngine<'a> {
             self.config.identify == IdentifyBackend::Exact || self.pod.is_some(),
             "mode-space identification requires an attached PodBank (with_pod)"
         );
-        match self.config.forecast {
-            ForecastBackend::Windowed => assert!(
-                self.forecaster.is_some(),
-                "windowed forecasting requires a WindowedForecaster (StreamEngine::new)"
-            ),
-            ForecastBackend::GoalOriented => assert!(
-                self.goal.is_some(),
-                "goal-oriented forecasting requires an attached GoalLadder \
-                 (goal_oriented / with_goal)"
-            ),
+        match self.config.assimilate {
+            AssimilateBackend::ModeSpace => {
+                let ms = self.modespace.expect(
+                    "mode-space assimilation requires an attached ModeSpaceLadder \
+                     (mode_space / with_modespace)",
+                );
+                assert!(
+                    !self.config.infer || ms.has_inference(),
+                    "infer: true under mode-space assimilation needs a ladder built \
+                     with ModeSpaceOptions {{ inference: true, .. }}"
+                );
+            }
+            AssimilateBackend::FullSpace => match self.config.forecast {
+                ForecastBackend::Windowed => assert!(
+                    self.forecaster.is_some(),
+                    "windowed forecasting requires a WindowedForecaster (StreamEngine::new)"
+                ),
+                ForecastBackend::GoalOriented => assert!(
+                    self.goal.is_some(),
+                    "goal-oriented forecasting requires an attached GoalLadder \
+                     (goal_oriented / with_goal)"
+                ),
+            },
         }
         // Grow the per-rung span table to the active ladder before the
         // fan-out, so shards never touch the registry's name table
         // (one-time work: idempotent after the first tick).
-        let n_rungs = match self.config.forecast {
-            ForecastBackend::Windowed => self.forecaster.expect("asserted above").windows.len(),
-            ForecastBackend::GoalOriented => self.goal.expect("asserted above").windows.len(),
+        let n_rungs = match self.config.assimilate {
+            AssimilateBackend::ModeSpace => self.modespace.expect("asserted above").windows.len(),
+            AssimilateBackend::FullSpace => match self.config.forecast {
+                ForecastBackend::Windowed => self.forecaster.expect("asserted above").windows.len(),
+                ForecastBackend::GoalOriented => self.goal.expect("asserted above").windows.len(),
+            },
         };
         while self.rung_spans.len() < n_rungs {
             let w = self.rung_spans.len();
@@ -970,6 +1157,7 @@ impl<'a> StreamEngine<'a> {
             goal: self.goal,
             bank: self.bank,
             pod: self.pod,
+            modespace: self.modespace,
             sq_prefix: &self.bank_sq_prefix,
             config: self.config,
             n_shards: self.shards.len(),
@@ -993,6 +1181,7 @@ impl<'a> StreamEngine<'a> {
             m.panels += sh.last.panels;
             m.samples_scored += sh.last.samples_scored;
             m.samples_folded += sh.last.samples_folded;
+            m.samples_projected += sh.last.samples_projected;
             m.samples_drained += sh.last.samples_drained;
             m.peak_panel_elems = m.peak_panel_elems.max(sh.last.peak_panel_elems);
         }
@@ -1034,6 +1223,7 @@ impl<'a> StreamEngine<'a> {
             c.drained.add(m.samples_drained as u64);
             c.scored.add(m.samples_scored as u64);
             c.folded.add(m.samples_folded as u64);
+            c.projected.add(m.samples_projected as u64);
             c.transitions.add(transitions);
             c.pool_jobs.set(pool.jobs as u64);
             c.pool_handoffs.set(pool.handoffs as u64);
@@ -1227,23 +1417,66 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
                 let pod = ctx
                     .pod
                     .expect("mode-space tick without an attached PodBank");
+                // Shared fold: when assimilation is also mode-space, its
+                // per-rung inputs are snapshots of this same running
+                // projection, so the fold is segmented at the rung
+                // boundaries inside the range and the projection is
+                // copied out as each one is crossed — every drained row
+                // folds exactly once per tick. With full-space
+                // assimilation the boundary list is empty and the loop
+                // degenerates to the single-call fold.
+                let shared = ctx.shared_fold();
+                let bounds: Vec<usize> = if shared {
+                    let ms = ctx
+                        .modespace
+                        .expect("shared fold without a mode-space ladder");
+                    ms.windows.iter().map(|&w| w * ms.nd).collect()
+                } else {
+                    Vec::new()
+                };
+                let r = pod.rank();
                 for ((i0, i1), mut sessions) in buckets {
-                    {
-                        let mut proj: Vec<(&[f64], &mut [f64])> = sessions
-                            .iter_mut()
-                            .map(|s| {
-                                s.scored = i1;
-                                let StreamSession {
-                                    ring, pod_coeff, ..
-                                } = &mut **s;
-                                (ring.prefix(i1), &mut pod_coeff[..])
-                            })
-                            .collect();
-                        identify::project_group(pod.modes(), i0, i1, &mut proj);
+                    let mut cuts: Vec<usize> = bounds
+                        .iter()
+                        .copied()
+                        .filter(|&k| k > i0 && k <= i1)
+                        .collect();
+                    cuts.push(i1);
+                    cuts.dedup();
+                    let mut prev = i0;
+                    for &cut in &cuts {
+                        if cut > prev {
+                            let mut proj: Vec<(&[f64], &mut [f64])> = sessions
+                                .iter_mut()
+                                .map(|s| {
+                                    let StreamSession {
+                                        ring, pod_coeff, ..
+                                    } = &mut **s;
+                                    (ring.prefix(cut), &mut pod_coeff[..])
+                                })
+                                .collect();
+                            identify::project_group(pod.modes(), prev, cut, &mut proj);
+                            prev = cut;
+                        }
+                        for (w, &kw) in bounds.iter().enumerate() {
+                            if kw == cut {
+                                for s in sessions.iter_mut() {
+                                    let StreamSession {
+                                        pod_coeff, ms_fold, ..
+                                    } = &mut **s;
+                                    ms_fold[w * r..(w + 1) * r].copy_from_slice(pod_coeff);
+                                }
+                            }
+                        }
                     }
                     for s in sessions.iter_mut() {
+                        s.scored = i1;
+                        if shared {
+                            s.ms_folded = i1;
+                        }
                         s.accumulate_energy(i0, i1);
                     }
+                    p.samples_projected += (i1 - i0) * sessions.len();
                     let mut score: Vec<(f64, &[f64], &mut [f64])> = sessions
                         .iter_mut()
                         .map(|s| {
@@ -1322,6 +1555,68 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
         }
     }
 
+    // 2c. Mode-space assimilation fold, non-shared path: when
+    //     identification is not already folding the projection (exact
+    //     identify, or no bank at all), drained rows fold into each
+    //     session's own running projection with the same rung-boundary
+    //     segmentation and snapshots as the shared path — so the two
+    //     configurations produce bitwise-identical per-rung folds. Rows
+    //     beyond the widest rung carry no assimilation information and
+    //     are clipped, not folded.
+    if ctx.config.assimilate == AssimilateBackend::ModeSpace && !ctx.shared_fold() {
+        let ms = ctx
+            .modespace
+            .expect("mode-space assimilation without a ladder");
+        let r = ms.rank();
+        let bounds: Vec<usize> = ms.windows.iter().map(|&w| w * ms.nd).collect();
+        let max_k = *bounds.last().expect("ladder has at least one rung");
+        let mut buckets: BTreeMap<(usize, usize), Vec<&mut StreamSession>> = BTreeMap::new();
+        for s in sessions.iter_mut().filter(|s| s.active) {
+            let filled = s.ring.filled();
+            if s.ms_folded < filled {
+                buckets.entry((s.ms_folded, filled)).or_default().push(s);
+            }
+        }
+        for ((i0, i1), mut members) in buckets {
+            let (i0w, i1w) = (i0.min(max_k), i1.min(max_k));
+            let mut cuts: Vec<usize> = bounds
+                .iter()
+                .copied()
+                .filter(|&k| k > i0w && k <= i1w)
+                .collect();
+            cuts.push(i1w);
+            cuts.dedup();
+            let mut prev = i0w;
+            for &cut in &cuts {
+                if cut > prev {
+                    let mut group: Vec<(&[f64], &mut [f64])> = members
+                        .iter_mut()
+                        .map(|s| {
+                            let StreamSession { ring, ms_proj, .. } = &mut **s;
+                            (ring.prefix(cut), &mut ms_proj[..])
+                        })
+                        .collect();
+                    identify::project_group(ms.modes(), prev, cut, &mut group);
+                    prev = cut;
+                }
+                for (w, &kw) in bounds.iter().enumerate() {
+                    if kw == cut && kw > i0w {
+                        for s in members.iter_mut() {
+                            let StreamSession {
+                                ms_proj, ms_fold, ..
+                            } = &mut **s;
+                            ms_fold[w * r..(w + 1) * r].copy_from_slice(ms_proj);
+                        }
+                    }
+                }
+            }
+            for s in members.iter_mut() {
+                s.ms_folded = i1;
+            }
+            p.samples_projected += (i1w - i0w) * members.len();
+        }
+    }
+
     // 3. Group sessions that crossed a new rung of the active backend's
     //    ladder, by rung index, then assimilate each group in bounded
     //    chunks over the shard's reusable scratch arena (clear + resize
@@ -1335,169 +1630,279 @@ fn tick_shard(shard: &mut Shard, ctx: &TickCtx<'_>) {
             }
         }
     }
-    // Goal-oriented folds and rung grouping count toward assimilation.
+    // Goal-oriented folds, mode-space folds, and rung grouping count
+    // toward assimilation.
     assim_ns += sw.lap();
-    match ctx.config.forecast {
-        ForecastBackend::Windowed => {
-            let fct = ctx
-                .forecaster
-                .expect("windowed backend without a forecaster");
-            for (w, members) in groups {
-                let k = fct.windows[w] * fct.nd;
-                let nq = fct.q_maps[w].nrows();
-                for chunk in members.chunks(ctx.config.chunk) {
-                    let b = chunk.len();
-                    let t0 = Instant::now();
-                    let mut buf = std::mem::take(&mut arena.panel);
-                    buf.clear();
-                    buf.resize(k * b, 0.0);
-                    let mut panel = DMatrix::from_vec(k, b, buf);
-                    for (c, &idx) in chunk.iter().enumerate() {
-                        for (r, &v) in sessions[idx].ring.prefix(k).iter().enumerate() {
-                            panel[(r, c)] = v;
-                        }
+    if ctx.config.assimilate == AssimilateBackend::ModeSpace {
+        // Rank-sized assimilation: gather each chunk's per-rung fold
+        // snapshots and materialize forecast (and optionally reduced
+        // inference) as `r × b` GEMMs. The full-space `k × b` window
+        // panel never exists on this path, so the recorded peak working
+        // set is the reduced one.
+        let ms = ctx
+            .modespace
+            .expect("mode-space assimilation without a ladder");
+        let r = ms.rank();
+        for (w, members) in groups {
+            let rung = &ms.rungs[w];
+            let nq = rung.q_map.nrows();
+            let m_rows = rung.m_map.as_ref().map_or(0, |m| m.nrows());
+            for chunk in members.chunks(ctx.config.chunk) {
+                let b = chunk.len();
+                let t0 = Instant::now();
+                let mut buf = std::mem::take(&mut arena.panel);
+                buf.clear();
+                buf.resize(r * b, 0.0);
+                let mut a = DMatrix::from_vec(r, b, buf);
+                for (c, &idx) in chunk.iter().enumerate() {
+                    for (row, &v) in sessions[idx].ms_fold[w * r..(w + 1) * r].iter().enumerate() {
+                        a[(row, c)] = v;
                     }
-                    p.peak_panel_elems = p.peak_panel_elems.max(k * b).max(nq * b);
-
-                    let mut qbuf = std::mem::take(&mut arena.q_block);
-                    qbuf.clear();
-                    qbuf.resize(nq * b, 0.0);
-                    let mut q = DMatrix::from_vec(nq, b, qbuf);
-                    fct.q_maps[w].matmul_into(&panel, &mut q);
-                    let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
-
-                    let inf = ctx.config.infer.then(|| {
-                        infer_window_batch(
-                            &ctx.twin.phase1,
-                            &ctx.twin.phase2,
-                            &panel,
-                            fct.windows[w],
-                        )
-                    });
-                    if let Some(inf) = &inf {
-                        // The windowed inference internally zero-pads the
-                        // panel to the full horizon (`(Nd·Nt) × b`) before
-                        // the FFT pass and returns an `(Nm·Nt) × b` block;
-                        // both are part of the tick's real working set.
-                        p.peak_panel_elems = p
-                            .peak_panel_elems
-                            .max(ctx.twin.n_data() * b)
-                            .max(inf.m_map.nrows() * b);
-                    }
-                    let work_ns = sw.lap();
-                    assim_ns += work_ns;
-
-                    // 4. Scatter results + classify.
-                    for (c, &idx) in chunk.iter().enumerate() {
-                        let s = &mut sessions[idx];
-                        scatter_forecast(s, &q, c, &fct.q_stds[w], fc_seconds);
-                        let band =
-                            forecast_band(s.forecast.as_ref().expect("forecast just scattered"));
-                        let prev = s.level;
-                        s.level = classify_band(band, ctx.config.warn_threshold);
-                        if s.level != prev {
-                            audit_scratch.push(WarningTransition {
-                                session: s.id,
-                                tick: ctx.tick_no,
-                                rung: w,
-                                from: prev,
-                                to: s.level,
-                                band_lo: band.0,
-                                band_hi: band.1,
-                                top_scenario: ctx.bank.and_then(|bk| top_posterior(&s.misfit, bk)),
-                                backend: ctx.config.forecast,
-                            });
-                        }
-                        if let Some(inf) = &inf {
-                            let norm = (0..inf.m_map.nrows())
-                                .map(|r| {
-                                    let v = inf.m_map[(r, c)];
-                                    v * v
-                                })
-                                .sum::<f64>()
-                                .sqrt();
-                            s.m_norm = Some(norm);
-                        }
-                        s.window_idx = Some(w);
-                    }
-                    let cls_ns = sw.lap();
-                    classify_ns += cls_ns;
-                    if on {
-                        ctx.rung_spans[w].record(work_ns + cls_ns);
-                    }
-                    arena.panel = panel.into_vec();
-                    arena.q_block = q.into_vec();
-                    p.panels += 1;
-                    p.sessions_assimilated += b;
                 }
+                p.peak_panel_elems = p.peak_panel_elems.max(r * b).max(nq * b);
+
+                let mut qbuf = std::mem::take(&mut arena.q_block);
+                qbuf.clear();
+                qbuf.resize(nq * b, 0.0);
+                let mut q = DMatrix::from_vec(nq, b, qbuf);
+                rung.q_map.matmul_into(&a, &mut q);
+                let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
+
+                let m_block = ctx.config.infer.then(|| {
+                    let m_map = rung.m_map.as_ref().expect("checked at tick start");
+                    let mut mbuf = std::mem::take(&mut arena.m_block);
+                    mbuf.clear();
+                    mbuf.resize(m_rows * b, 0.0);
+                    let mut m = DMatrix::from_vec(m_rows, b, mbuf);
+                    m_map.matmul_into(&a, &mut m);
+                    m
+                });
+                if m_block.is_some() {
+                    p.peak_panel_elems = p.peak_panel_elems.max(m_rows * b);
+                }
+                let work_ns = sw.lap();
+                assim_ns += work_ns;
+
+                // 4. Scatter results + classify.
+                for (c, &idx) in chunk.iter().enumerate() {
+                    let s = &mut sessions[idx];
+                    scatter_forecast(s, &q, c, &ms.q_stds[w], fc_seconds);
+                    let band = forecast_band(s.forecast.as_ref().expect("forecast just scattered"));
+                    let prev = s.level;
+                    s.level = classify_band(band, ctx.config.warn_threshold);
+                    if s.level != prev {
+                        audit_scratch.push(WarningTransition {
+                            session: s.id,
+                            tick: ctx.tick_no,
+                            rung: w,
+                            from: prev,
+                            to: s.level,
+                            band_lo: band.0,
+                            band_hi: band.1,
+                            top_scenario: ctx.bank.and_then(|bk| top_posterior(&s.misfit, bk)),
+                            backend: ctx.config.forecast,
+                            assimilate: ctx.config.assimilate,
+                        });
+                    }
+                    if let Some(m) = &m_block {
+                        let norm = (0..m.nrows())
+                            .map(|row| {
+                                let v = m[(row, c)];
+                                v * v
+                            })
+                            .sum::<f64>()
+                            .sqrt();
+                        s.m_norm = Some(norm);
+                    }
+                    s.window_idx = Some(w);
+                }
+                let cls_ns = sw.lap();
+                classify_ns += cls_ns;
+                if on {
+                    ctx.rung_spans[w].record(work_ns + cls_ns);
+                }
+                arena.panel = a.into_vec();
+                arena.q_block = q.into_vec();
+                if let Some(m) = m_block {
+                    arena.m_block = m.into_vec();
+                }
+                p.panels += 1;
+                p.sessions_assimilated += b;
             }
         }
-        ForecastBackend::GoalOriented => {
-            // No window panels, no Cholesky walk: gather each chunk's
-            // rank-sized fold states and materialize all QoI means as
-            // one `L_w · Z` GEMM plus the precomputed std.
-            let goal = ctx.goal.expect("goal backend without a ladder");
-            for (w, members) in groups {
-                let rung = &goal.rungs[w];
-                let r = rung.map.rank();
-                let nq = rung.map.out_dim();
-                let off = goal.fold_offset(w);
-                for chunk in members.chunks(ctx.config.chunk) {
-                    let b = chunk.len();
-                    let t0 = Instant::now();
-                    let mut buf = std::mem::take(&mut arena.panel);
-                    buf.clear();
-                    buf.resize(r * b, 0.0);
-                    let mut z = DMatrix::from_vec(r, b, buf);
-                    for (c, &idx) in chunk.iter().enumerate() {
-                        for (row, &v) in sessions[idx].goal_fold[off..off + r].iter().enumerate() {
-                            z[(row, c)] = v;
+    } else {
+        match ctx.config.forecast {
+            ForecastBackend::Windowed => {
+                let fct = ctx
+                    .forecaster
+                    .expect("windowed backend without a forecaster");
+                for (w, members) in groups {
+                    let k = fct.windows[w] * fct.nd;
+                    let nq = fct.q_maps[w].nrows();
+                    for chunk in members.chunks(ctx.config.chunk) {
+                        let b = chunk.len();
+                        let t0 = Instant::now();
+                        let mut buf = std::mem::take(&mut arena.panel);
+                        buf.clear();
+                        buf.resize(k * b, 0.0);
+                        let mut panel = DMatrix::from_vec(k, b, buf);
+                        for (c, &idx) in chunk.iter().enumerate() {
+                            for (r, &v) in sessions[idx].ring.prefix(k).iter().enumerate() {
+                                panel[(r, c)] = v;
+                            }
                         }
-                    }
-                    p.peak_panel_elems = p.peak_panel_elems.max(r * b).max(nq * b);
+                        p.peak_panel_elems = p.peak_panel_elems.max(k * b).max(nq * b);
 
-                    let mut qbuf = std::mem::take(&mut arena.q_block);
-                    qbuf.clear();
-                    qbuf.resize(nq * b, 0.0);
-                    let mut q = DMatrix::from_vec(nq, b, qbuf);
-                    rung.map.materialize_into(&z, &mut q);
-                    let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
-                    let work_ns = sw.lap();
-                    assim_ns += work_ns;
+                        let mut qbuf = std::mem::take(&mut arena.q_block);
+                        qbuf.clear();
+                        qbuf.resize(nq * b, 0.0);
+                        let mut q = DMatrix::from_vec(nq, b, qbuf);
+                        fct.q_maps[w].matmul_into(&panel, &mut q);
+                        let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
 
-                    // 4. Scatter results + classify (no parameter
-                    //    inference on this path: m_norm stays None).
-                    for (c, &idx) in chunk.iter().enumerate() {
-                        let s = &mut sessions[idx];
-                        scatter_forecast(s, &q, c, &goal.q_stds[w], fc_seconds);
-                        let band =
-                            forecast_band(s.forecast.as_ref().expect("forecast just scattered"));
-                        let prev = s.level;
-                        s.level = classify_band(band, ctx.config.warn_threshold);
-                        if s.level != prev {
-                            audit_scratch.push(WarningTransition {
-                                session: s.id,
-                                tick: ctx.tick_no,
-                                rung: w,
-                                from: prev,
-                                to: s.level,
-                                band_lo: band.0,
-                                band_hi: band.1,
-                                top_scenario: ctx.bank.and_then(|bk| top_posterior(&s.misfit, bk)),
-                                backend: ctx.config.forecast,
-                            });
+                        let inf = ctx.config.infer.then(|| {
+                            infer_window_batch(
+                                &ctx.twin.phase1,
+                                &ctx.twin.phase2,
+                                &panel,
+                                fct.windows[w],
+                            )
+                        });
+                        if let Some(inf) = &inf {
+                            // The windowed inference internally zero-pads the
+                            // panel to the full horizon (`(Nd·Nt) × b`) before
+                            // the FFT pass and returns an `(Nm·Nt) × b` block;
+                            // both are part of the tick's real working set.
+                            p.peak_panel_elems = p
+                                .peak_panel_elems
+                                .max(ctx.twin.n_data() * b)
+                                .max(inf.m_map.nrows() * b);
                         }
-                        s.window_idx = Some(w);
+                        let work_ns = sw.lap();
+                        assim_ns += work_ns;
+
+                        // 4. Scatter results + classify.
+                        for (c, &idx) in chunk.iter().enumerate() {
+                            let s = &mut sessions[idx];
+                            scatter_forecast(s, &q, c, &fct.q_stds[w], fc_seconds);
+                            let band = forecast_band(
+                                s.forecast.as_ref().expect("forecast just scattered"),
+                            );
+                            let prev = s.level;
+                            s.level = classify_band(band, ctx.config.warn_threshold);
+                            if s.level != prev {
+                                audit_scratch.push(WarningTransition {
+                                    session: s.id,
+                                    tick: ctx.tick_no,
+                                    rung: w,
+                                    from: prev,
+                                    to: s.level,
+                                    band_lo: band.0,
+                                    band_hi: band.1,
+                                    top_scenario: ctx
+                                        .bank
+                                        .and_then(|bk| top_posterior(&s.misfit, bk)),
+                                    backend: ctx.config.forecast,
+                                    assimilate: ctx.config.assimilate,
+                                });
+                            }
+                            if let Some(inf) = &inf {
+                                let norm = (0..inf.m_map.nrows())
+                                    .map(|r| {
+                                        let v = inf.m_map[(r, c)];
+                                        v * v
+                                    })
+                                    .sum::<f64>()
+                                    .sqrt();
+                                s.m_norm = Some(norm);
+                            }
+                            s.window_idx = Some(w);
+                        }
+                        let cls_ns = sw.lap();
+                        classify_ns += cls_ns;
+                        if on {
+                            ctx.rung_spans[w].record(work_ns + cls_ns);
+                        }
+                        arena.panel = panel.into_vec();
+                        arena.q_block = q.into_vec();
+                        p.panels += 1;
+                        p.sessions_assimilated += b;
                     }
-                    let cls_ns = sw.lap();
-                    classify_ns += cls_ns;
-                    if on {
-                        ctx.rung_spans[w].record(work_ns + cls_ns);
+                }
+            }
+            ForecastBackend::GoalOriented => {
+                // No window panels, no Cholesky walk: gather each chunk's
+                // rank-sized fold states and materialize all QoI means as
+                // one `L_w · Z` GEMM plus the precomputed std.
+                let goal = ctx.goal.expect("goal backend without a ladder");
+                for (w, members) in groups {
+                    let rung = &goal.rungs[w];
+                    let r = rung.map.rank();
+                    let nq = rung.map.out_dim();
+                    let off = goal.fold_offset(w);
+                    for chunk in members.chunks(ctx.config.chunk) {
+                        let b = chunk.len();
+                        let t0 = Instant::now();
+                        let mut buf = std::mem::take(&mut arena.panel);
+                        buf.clear();
+                        buf.resize(r * b, 0.0);
+                        let mut z = DMatrix::from_vec(r, b, buf);
+                        for (c, &idx) in chunk.iter().enumerate() {
+                            for (row, &v) in
+                                sessions[idx].goal_fold[off..off + r].iter().enumerate()
+                            {
+                                z[(row, c)] = v;
+                            }
+                        }
+                        p.peak_panel_elems = p.peak_panel_elems.max(r * b).max(nq * b);
+
+                        let mut qbuf = std::mem::take(&mut arena.q_block);
+                        qbuf.clear();
+                        qbuf.resize(nq * b, 0.0);
+                        let mut q = DMatrix::from_vec(nq, b, qbuf);
+                        rung.map.materialize_into(&z, &mut q);
+                        let fc_seconds = t0.elapsed().as_secs_f64() / b as f64;
+                        let work_ns = sw.lap();
+                        assim_ns += work_ns;
+
+                        // 4. Scatter results + classify (no parameter
+                        //    inference on this path: m_norm stays None).
+                        for (c, &idx) in chunk.iter().enumerate() {
+                            let s = &mut sessions[idx];
+                            scatter_forecast(s, &q, c, &goal.q_stds[w], fc_seconds);
+                            let band = forecast_band(
+                                s.forecast.as_ref().expect("forecast just scattered"),
+                            );
+                            let prev = s.level;
+                            s.level = classify_band(band, ctx.config.warn_threshold);
+                            if s.level != prev {
+                                audit_scratch.push(WarningTransition {
+                                    session: s.id,
+                                    tick: ctx.tick_no,
+                                    rung: w,
+                                    from: prev,
+                                    to: s.level,
+                                    band_lo: band.0,
+                                    band_hi: band.1,
+                                    top_scenario: ctx
+                                        .bank
+                                        .and_then(|bk| top_posterior(&s.misfit, bk)),
+                                    backend: ctx.config.forecast,
+                                    assimilate: ctx.config.assimilate,
+                                });
+                            }
+                            s.window_idx = Some(w);
+                        }
+                        let cls_ns = sw.lap();
+                        classify_ns += cls_ns;
+                        if on {
+                            ctx.rung_spans[w].record(work_ns + cls_ns);
+                        }
+                        arena.panel = z.into_vec();
+                        arena.q_block = q.into_vec();
+                        p.panels += 1;
+                        p.sessions_assimilated += b;
                     }
-                    arena.panel = z.into_vec();
-                    arena.q_block = q.into_vec();
-                    p.panels += 1;
-                    p.sessions_assimilated += b;
                 }
             }
         }
@@ -1565,6 +1970,21 @@ pub fn classify_band((lo_max, hi_max): (f64, f64), threshold: f64) -> WarningLev
     } else {
         WarningLevel::AllClear
     }
+}
+
+/// The shared-fold contract: a [`PodBank`] and a [`ModeSpaceLadder`]
+/// attached to the same engine must hold the *same* observation basis
+/// bit for bit — mode-space identification folds drained rows into the
+/// per-session projection once, and mode-space assimilation reads its
+/// rung snapshots from that same fold.
+fn assert_same_basis(pod: &PodBank, ms: &ModeSpaceLadder) {
+    assert!(
+        pod.modes().nrows() == ms.modes().nrows()
+            && pod.modes().ncols() == ms.modes().ncols()
+            && pod.modes().as_slice() == ms.modes().as_slice(),
+        "mode-space ladder and PodBank must share the observation basis bit for bit \
+         (build the ladder from PodBank::modes())"
+    );
 }
 
 /// The bank scenario with the highest posterior probability under a

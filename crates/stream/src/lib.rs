@@ -50,6 +50,18 @@
 //!   precomputed forecasts — honest credible bands while identification
 //!   is still ambiguous, and better point forecasts than any single
 //!   best-fit scenario for events between bank members.
+//! - With a [`tsunami_core::ModeSpaceLadder`] attached
+//!   ([`StreamEngine::mode_space`] / [`StreamEngine::with_modespace`])
+//!   and [`AssimilateBackend::ModeSpace`] selected, *assimilation* runs
+//!   in mode space too: drained rows fold once per tick into each
+//!   session's rank-`r` POD projection (shared with the identification
+//!   fold when both backends are mode-space), and rung crossings
+//!   materialize inference + forecast + classification from `r × B`
+//!   GEMMs against precomputed Gram-absorbed reduced operators — no
+//!   full-space window panel, no leading-block solve online. A complete
+//!   basis reproduces the windowed engine within cancellation slack;
+//!   truncated ranks carry exactly computed per-rung Frobenius bounds
+//!   certified down to the warning decision boundary.
 //! - With a [`tsunami_core::GoalLadder`] attached
 //!   ([`StreamEngine::goal_oriented`] / [`StreamEngine::with_goal`]) and
 //!   [`ForecastBackend::GoalOriented`] selected, forecasting runs the
@@ -75,8 +87,8 @@ pub mod identify;
 pub mod session;
 
 pub use engine::{
-    classify_band, classify_forecast, forecast_band, superpose_forecasts, EngineMetrics,
-    ForecastBackend, IdentifyBackend, ScenarioMatch, StreamConfig, StreamEngine, TickMetrics,
-    WarningTransition,
+    classify_band, classify_forecast, forecast_band, superpose_forecasts, AssimilateBackend,
+    EngineMetrics, ForecastBackend, IdentifyBackend, ScenarioMatch, StreamConfig, StreamEngine,
+    TickMetrics, WarningTransition,
 };
 pub use session::{SampleRing, StreamSession, WarningLevel};

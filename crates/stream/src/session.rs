@@ -119,6 +119,20 @@ pub struct StreamSession {
     pub(crate) goal_fold: Vec<f64>,
     /// Samples already folded into `goal_fold`.
     pub(crate) folded: usize,
+    /// Concatenated per-rung mode-space fold snapshots `a_w = U_kᵀ d_k`
+    /// (rung `w`'s `r`-slice at `w·r`; empty unless a
+    /// [`tsunami_core::ModeSpaceLadder`] is attached). Each slice is
+    /// written the moment the stream crosses that rung's boundary and
+    /// frozen afterwards — it is the *entire* per-session input of a
+    /// mode-space assimilation.
+    pub(crate) ms_fold: Vec<f64>,
+    /// Running mode-space projection `a = U_kᵀ d` over the first
+    /// `min(ms_folded, max rung boundary)` samples — the non-shared fold
+    /// path's accumulator (under shared folding, `pod_coeff` plays this
+    /// role and `ms_proj` stays zero).
+    pub(crate) ms_proj: Vec<f64>,
+    /// Samples already consumed by the mode-space assimilation fold.
+    pub(crate) ms_folded: usize,
     /// Running data energy `‖d‖²` over the scored samples, with its Kahan
     /// compensation term — accumulated across ticks, so compensated for
     /// the same long-horizon reason as the clean-energy prefix sums.
@@ -141,6 +155,7 @@ pub struct StreamSession {
 }
 
 impl StreamSession {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         capacity: usize,
@@ -148,6 +163,8 @@ impl StreamSession {
         n_scenarios: usize,
         n_modes: usize,
         fold_len: usize,
+        ms_rungs: usize,
+        ms_rank: usize,
     ) -> Self {
         StreamSession {
             id,
@@ -159,6 +176,9 @@ impl StreamSession {
             pod_coeff: vec![0.0; n_modes],
             goal_fold: vec![0.0; fold_len],
             folded: 0,
+            ms_fold: vec![0.0; ms_rungs * ms_rank],
+            ms_proj: vec![0.0; ms_rank],
+            ms_folded: 0,
             data_energy: 0.0,
             data_energy_comp: 0.0,
             generation: 0,
@@ -175,7 +195,14 @@ impl StreamSession {
     /// deliberately *not* reset: it was bumped at close, and keeping the
     /// new value is what invalidates inbox batches staged for the old
     /// event under the same id.
-    pub(crate) fn reopen(&mut self, n_scenarios: usize, n_modes: usize, fold_len: usize) {
+    pub(crate) fn reopen(
+        &mut self,
+        n_scenarios: usize,
+        n_modes: usize,
+        fold_len: usize,
+        ms_rungs: usize,
+        ms_rank: usize,
+    ) {
         debug_assert!(!self.active, "reopen of an open session");
         self.ring.clear();
         self.window_idx = None;
@@ -187,6 +214,11 @@ impl StreamSession {
         self.goal_fold.clear();
         self.goal_fold.resize(fold_len, 0.0);
         self.folded = 0;
+        self.ms_fold.clear();
+        self.ms_fold.resize(ms_rungs * ms_rank, 0.0);
+        self.ms_proj.clear();
+        self.ms_proj.resize(ms_rank, 0.0);
+        self.ms_folded = 0;
         self.data_energy = 0.0;
         self.data_energy_comp = 0.0;
         self.forecast = None;
@@ -267,7 +299,7 @@ mod tests {
 
     #[test]
     fn session_counts_complete_steps_only() {
-        let mut s = StreamSession::new(0, 12, 4, 0, 0, 0);
+        let mut s = StreamSession::new(0, 12, 4, 0, 0, 0, 0, 0);
         s.ring.push(&[0.5; 6]);
         assert_eq!(s.samples(), 6);
         assert_eq!(s.steps(), 1, "partial second step must not count");

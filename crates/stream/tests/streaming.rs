@@ -1154,3 +1154,394 @@ fn rewind_replay_reproduces_the_audit_trail_of_a_fresh_engine() {
     fresh.tick();
     assert_eq!(strip_tick(&fresh, 0), first);
 }
+
+// ---------------------------------------------------------------------------
+// Mode-space assimilation backend
+// ---------------------------------------------------------------------------
+
+use tsunami_core::ModeSpaceOptions;
+use tsunami_linalg::{randomized_svd, svd::orthonormalize, DMatrix, SvdOptions};
+use tsunami_stream::forecast_band;
+
+/// A deterministic complete orthogonal basis of the data space: every
+/// rung restriction has orthonormal rows, so mode-space assimilation
+/// must reproduce the windowed engine on arbitrary data.
+fn complete_basis(n: usize) -> DMatrix {
+    let mut m = DMatrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            0.3 * ((i * 7 + j * 3) as f64 * 0.41).sin()
+        }
+    });
+    let kept = orthonormalize(&mut m);
+    assert_eq!(kept, n, "basis must be complete");
+    m
+}
+
+/// A genuinely rank-`r` basis: leading SVD modes of a smooth block plus
+/// a small identity shift (the smooth part alone has numerical rank 4,
+/// which would silently clip every requested rank to 4).
+fn truncated_basis(n: usize, r: usize) -> DMatrix {
+    let block = DMatrix::from_fn(n, n, |i, j| {
+        let smooth =
+            ((i * 3 + 2 * j) as f64 * 0.11).sin() + 0.4 * ((i + 5 * j) as f64 * 0.07).cos();
+        smooth + if i == j { 0.05 } else { 0.0 }
+    });
+    let u = randomized_svd(&block, r, SvdOptions::default()).u;
+    assert_eq!(u.ncols(), r, "generator block must have rank >= {r}");
+    u
+}
+
+#[test]
+fn mode_space_engine_matches_the_windowed_engine_on_a_complete_basis() {
+    // Same ragged streams (3-sample pushes, tick after every push)
+    // through the windowed engine and a mode-space engine over a square
+    // orthogonal basis. Every rung restriction then has full row rank,
+    // so forecasts, inference norms, and warning levels must agree
+    // within cancellation slack — and the stds bitwise (they are carried
+    // over untouched from the windowed operators).
+    let (twin, bank) = setup_bank(3, 31);
+    let nt = twin.solver.grid.nt_obs;
+    let ladder = [2, nt / 2, nt];
+    let wf = twin.windowed(&ladder);
+    let opts = ModeSpaceOptions {
+        inference: true,
+        ..ModeSpaceOptions::default()
+    };
+    let ms = twin.mode_space_ladder(&ladder, &complete_basis(twin.n_data()), &opts);
+    let cfg = StreamConfig::default();
+    let mut exact = StreamEngine::new(&twin, &wf, cfg);
+    let mut reduced = StreamEngine::mode_space(&twin, &ms, cfg);
+
+    let ids: Vec<(usize, usize)> = (0..bank.len())
+        .map(|_| (exact.open(), reduced.open()))
+        .collect();
+    let horizon = twin.n_data();
+    let mut fed = 0;
+    while fed < horizon {
+        let hi = (fed + 3).min(horizon);
+        for (j, &(ea, ra)) in ids.iter().enumerate() {
+            let d = bank.observations().col(j);
+            exact.push(ea, &d[fed..hi]);
+            reduced.push(ra, &d[fed..hi]);
+        }
+        fed = hi;
+        exact.tick();
+        reduced.tick();
+    }
+
+    for &(ea, ra) in &ids {
+        let (se, sr) = (exact.session(ea), reduced.session(ra));
+        assert_eq!(sr.window(), se.window(), "rung positions must agree");
+        let (fe, fr) = (se.forecast.as_ref().unwrap(), sr.forecast.as_ref().unwrap());
+        assert!(
+            rel_err(&fr.q_map, &fe.q_map) < 1e-9,
+            "complete-basis mode-space forecast drifted: {}",
+            rel_err(&fr.q_map, &fe.q_map)
+        );
+        assert_eq!(fr.q_std, fe.q_std, "stds must carry over bitwise");
+        assert_eq!(sr.level, se.level);
+        let (me, mr) = (se.m_norm.unwrap(), sr.m_norm.unwrap());
+        assert!(
+            (mr - me).abs() < 1e-8 * me.max(1e-12),
+            "reduced inference norm drifted: {mr} vs {me}"
+        );
+    }
+}
+
+#[test]
+fn shared_fold_projects_each_sample_once_and_matches_the_non_shared_fold() {
+    // With identification and assimilation both in mode space over the
+    // same basis, the engine folds each drained sample into the shared
+    // projection exactly once per tick: the samples_projected counter
+    // must equal the number of samples pushed (a double fold would count
+    // every row twice). And because the non-shared path segments its own
+    // fold at the same rung boundaries, an exact-identify engine over
+    // the same ladder must produce bitwise-identical forecasts.
+    let (twin, bank) = setup_bank(6, 37);
+    let nt = twin.solver.grid.nt_obs;
+    let ladder = [2, nt / 2, nt];
+    let pod = bank.compress(4);
+    let ms = twin.mode_space_ladder(&ladder, pod.modes(), &ModeSpaceOptions::default());
+
+    let run = |identify: IdentifyBackend| {
+        let cfg = StreamConfig {
+            identify,
+            infer: false,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::mode_space(&twin, &ms, cfg).with_bank(&bank);
+        if identify == IdentifyBackend::ModeSpace {
+            engine = engine.with_pod(&pod);
+        }
+        let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
+        let horizon = twin.n_data();
+        let mut projected = 0;
+        let mut fed = 0;
+        while fed < horizon {
+            let hi = (fed + 5).min(horizon);
+            for (j, &id) in ids.iter().enumerate() {
+                engine.push(id, &bank.observations().col(j)[fed..hi]);
+            }
+            fed = hi;
+            projected += engine.tick().samples_projected;
+        }
+        let forecasts: Vec<(Vec<f64>, Vec<f64>)> = ids
+            .iter()
+            .map(|&id| {
+                let f = engine.session(id).forecast.as_ref().unwrap();
+                (f.q_map.clone(), f.q_std.clone())
+            })
+            .collect();
+        (projected, forecasts)
+    };
+
+    let total = bank.len() * twin.n_data();
+    let (shared_projected, shared_fc) = run(IdentifyBackend::ModeSpace);
+    assert_eq!(
+        shared_projected, total,
+        "shared fold must project each drained sample exactly once"
+    );
+    let (plain_projected, plain_fc) = run(IdentifyBackend::Exact);
+    assert_eq!(plain_projected, total);
+    for (j, (a, b)) in shared_fc.iter().zip(&plain_fc).enumerate() {
+        assert_eq!(a.0, b.0, "session {j}: shared/non-shared folds diverged");
+        assert_eq!(a.1, b.1);
+    }
+}
+
+#[test]
+fn mode_space_panels_report_the_rank_sized_working_set() {
+    // A rank-8 mode-space tick never materializes the k-row window
+    // panel: the recorded peak working set is max(r·b, Nq·Nt·b), strictly
+    // below the windowed engine's k·b gather for the same batch.
+    let (twin, bank) = setup_bank(10, 41);
+    let nt = twin.solver.grid.nt_obs;
+    let r = 8;
+    let wf = twin.windowed(&[nt]);
+    let ms = twin.mode_space_ladder(
+        &[nt],
+        &truncated_basis(twin.n_data(), r),
+        &ModeSpaceOptions::default(),
+    );
+    let cfg = StreamConfig {
+        infer: false,
+        ..StreamConfig::default()
+    };
+    let mut exact = StreamEngine::new(&twin, &wf, cfg);
+    let mut reduced = StreamEngine::mode_space(&twin, &ms, cfg);
+    for j in 0..bank.len() {
+        let (ea, ra) = (exact.open(), reduced.open());
+        exact.push(ea, &bank.observations().col(j));
+        reduced.push(ra, &bank.observations().col(j));
+    }
+    let tm_exact = exact.tick();
+    let tm_reduced = reduced.tick();
+
+    let b = bank.len();
+    let nq = wf.q_stds[0].len();
+    assert_eq!(
+        tm_reduced.peak_panel_elems,
+        (r * b).max(nq * b),
+        "mode-space peak must be the reduced working set"
+    );
+    assert_eq!(tm_exact.peak_panel_elems, (twin.n_data() * b).max(nq * b));
+    assert!(
+        tm_reduced.peak_panel_elems < tm_exact.peak_panel_elems,
+        "rank-sized tick must shrink the working set: {} vs {}",
+        tm_reduced.peak_panel_elems,
+        tm_exact.peak_panel_elems
+    );
+    assert_eq!(
+        reduced.shard_panel_peaks().into_iter().max(),
+        Some(tm_reduced.peak_panel_elems),
+        "per-shard peaks must record the reduced panel too"
+    );
+}
+
+#[test]
+fn truncated_warnings_flip_only_within_the_certified_bound() {
+    // The decision-boundary contract: a truncated mode-space engine may
+    // classify a session differently from the dense windowed path only
+    // when the dense credible band sits within the rung's certified
+    // forecast-error bound of the threshold. Checked at shard counts
+    // 1/2/4, at a threshold pinned to a dense band endpoint (the worst
+    // case) and at generic thresholds.
+    let (twin, bank) = setup_bank(8, 47);
+    let nt = twin.solver.grid.nt_obs;
+    let pod = bank.compress(5);
+    let ms = twin.mode_space_ladder(&[nt], pod.modes(), &ModeSpaceOptions::default());
+    assert!(
+        ms.rungs[0].trunc_bound > 0.0,
+        "rank-5 ladder should actually truncate"
+    );
+    let wf = twin.windowed(&[nt]);
+
+    // Dense reference bands and per-session certified bounds.
+    let bands: Vec<(f64, f64)> = (0..bank.len())
+        .map(|j| forecast_band(&wf.forecast(0, &bank.observations().col(j))))
+        .collect();
+    let bounds: Vec<f64> = (0..bank.len())
+        .map(|j| {
+            let d = bank.observations().col(j);
+            let d_norm = d.iter().map(|v| v * v).sum::<f64>().sqrt();
+            ms.mean_error_bound(0, d_norm)
+        })
+        .collect();
+    let hi_max = bands.iter().fold(0.0f64, |m, b| m.max(b.1));
+    let bound_max = bounds.iter().fold(0.0f64, |m, &b| m.max(b));
+    let thresholds = [
+        bands[0].1,               // pinned to a dense endpoint
+        0.5 * hi_max,             // generic, inside the range
+        1.1 * hi_max + bound_max, // beyond every band: all-clear everywhere
+    ];
+
+    for thr in thresholds {
+        let mut per_shard: Vec<Vec<(WarningLevel, Vec<f64>)>> = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let cfg = StreamConfig {
+                shards,
+                infer: false,
+                warn_threshold: thr,
+                ..StreamConfig::default()
+            };
+            let mut engine = StreamEngine::mode_space(&twin, &ms, cfg);
+            let ids: Vec<usize> = (0..bank.len()).map(|_| engine.open()).collect();
+            for (j, &id) in ids.iter().enumerate() {
+                engine.push(id, &bank.observations().col(j));
+            }
+            engine.tick();
+            per_shard.push(
+                ids.iter()
+                    .map(|&id| {
+                        let s = engine.session(id);
+                        (s.level, s.forecast.as_ref().unwrap().q_map.clone())
+                    })
+                    .collect(),
+            );
+
+            for (j, &(level, _)) in per_shard.last().unwrap().iter().enumerate() {
+                let dense_level = tsunami_stream::classify_band(bands[j], thr);
+                let margin = (bands[j].0 - thr).abs().min((bands[j].1 - thr).abs());
+                let certified = bounds[j] * (1.0 + 1e-9) + 1e-12;
+                if level != dense_level {
+                    assert!(
+                        margin <= certified,
+                        "{shards} shards, session {j}, thr {thr}: level flipped \
+                         ({dense_level:?} → {level:?}) with dense margin {margin} \
+                         outside certified bound {certified}"
+                    );
+                }
+                if margin > certified {
+                    assert_eq!(
+                        level, dense_level,
+                        "{shards} shards, session {j}, thr {thr}: certified-safe \
+                         session must not flip"
+                    );
+                }
+            }
+        }
+        // Shard invariance: forecasts to roundoff, levels exactly.
+        for shard_res in &per_shard[1..] {
+            for (j, ((la, qa), (lb, qb))) in per_shard[0].iter().zip(shard_res).enumerate() {
+                assert_eq!(la, lb, "session {j}: level must be shard-invariant");
+                assert!(rel_err(qb, qa) < 1e-12, "session {j}: shard drift");
+            }
+        }
+    }
+}
+
+#[test]
+fn mode_space_rewind_replay_is_bit_identical_to_a_fresh_engine() {
+    // rewind() must zero the per-rung fold snapshots (and, under shared
+    // folding, the identification projection they alias): replaying after
+    // a rewind refolds [0, filled) segmented only at rung boundaries,
+    // exactly like a fresh engine that received the whole stream in one
+    // push — forecasts, levels, and the post-rewind audit-trail segment
+    // must match bit for bit.
+    let (twin, bank) = setup_bank(4, 53);
+    let nt = twin.solver.grid.nt_obs;
+    let ladder = [2, nt / 2, nt];
+    let pod = bank.compress(4);
+    let ms = twin.mode_space_ladder(&ladder, pod.modes(), &ModeSpaceOptions::default());
+    let strip_tick = |e: &StreamEngine<'_>, skip: usize| -> Vec<_> {
+        e.audit()
+            .iter()
+            .skip(skip)
+            .map(|t| {
+                let mut t = *t;
+                t.tick = 0;
+                t
+            })
+            .collect()
+    };
+
+    let check = |mut live: StreamEngine<'_>, mut fresh: StreamEngine<'_>, tag: &str| {
+        let ids: Vec<usize> = (0..bank.len()).map(|_| live.open()).collect();
+        let horizon = twin.n_data();
+        let mut fed = 0;
+        while fed < horizon {
+            let hi = (fed + 5).min(horizon);
+            for (j, &id) in ids.iter().enumerate() {
+                live.push(id, &bank.observations().col(j)[fed..hi]);
+            }
+            fed = hi;
+            live.tick();
+        }
+        let pre_rewind = live.audit().len();
+        live.rewind();
+        let tm = live.tick();
+        assert_eq!(tm.sessions_assimilated, bank.len(), "{tag}: replay");
+
+        let fresh_ids: Vec<usize> = (0..bank.len()).map(|_| fresh.open()).collect();
+        for (j, &id) in fresh_ids.iter().enumerate() {
+            fresh.push(id, &bank.observations().col(j));
+        }
+        fresh.tick();
+
+        for (&la, &fa) in ids.iter().zip(&fresh_ids) {
+            let (sl, sf) = (live.session(la), fresh.session(fa));
+            let (fl, ff) = (sl.forecast.as_ref().unwrap(), sf.forecast.as_ref().unwrap());
+            assert_eq!(fl.q_map, ff.q_map, "{tag}: replay diverged from fresh");
+            assert_eq!(fl.q_std, ff.q_std, "{tag}: stds diverged");
+            assert_eq!(sl.level, sf.level, "{tag}: levels diverged");
+        }
+        let replay_trail = strip_tick(&live, pre_rewind);
+        assert!(
+            !replay_trail.is_empty(),
+            "{tag}: replay recorded no transitions"
+        );
+        assert_eq!(
+            replay_trail,
+            strip_tick(&fresh, 0),
+            "{tag}: audit trail diverged"
+        );
+    };
+
+    // Tiny threshold: every session trips Warning, so the trail is
+    // non-empty on both paths.
+    let plain = StreamConfig {
+        warn_threshold: 1e-6,
+        infer: false,
+        ..StreamConfig::default()
+    };
+    check(
+        StreamEngine::mode_space(&twin, &ms, plain),
+        StreamEngine::mode_space(&twin, &ms, plain),
+        "non-shared",
+    );
+    let shared = StreamConfig {
+        identify: IdentifyBackend::ModeSpace,
+        ..plain
+    };
+    check(
+        StreamEngine::mode_space(&twin, &ms, shared)
+            .with_bank(&bank)
+            .with_pod(&pod),
+        StreamEngine::mode_space(&twin, &ms, shared)
+            .with_bank(&bank)
+            .with_pod(&pod),
+        "shared",
+    );
+}

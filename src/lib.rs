@@ -59,8 +59,8 @@ pub mod prelude {
     pub use tsunami_core::{
         greedy_design, infer_window, infer_window_batch, BankAssimilation, Criterion, DigitalTwin,
         Forecast, ForecastBatch, GoalLadder, GoalOptions, GoalRung, Inference, InferenceBatch,
-        LtiBayesEngine, LtiModel, OedCandidates, PodBank, ScenarioBank, ScenarioSpec,
-        SpaceTimePrior, SyntheticEvent, TwinConfig, WindowedForecaster,
+        LtiBayesEngine, LtiModel, ModeSpaceLadder, ModeSpaceOptions, OedCandidates, PodBank,
+        ScenarioBank, ScenarioSpec, SpaceTimePrior, SyntheticEvent, TwinConfig, WindowedForecaster,
     };
     pub use tsunami_elastic::{
         DippingFault, ElasticGrid, ElasticSolver, LayeredMedium, ShakeTwin, SlipScenario,
@@ -75,7 +75,8 @@ pub mod prelude {
     pub use tsunami_rupture::KinematicRupture;
     pub use tsunami_solver::{PhysicalParams, WaveSolver};
     pub use tsunami_stream::{
-        superpose_forecasts, EngineMetrics, ForecastBackend, IdentifyBackend, ScenarioMatch,
-        StreamConfig, StreamEngine, StreamSession, TickMetrics, WarningLevel, WarningTransition,
+        superpose_forecasts, AssimilateBackend, EngineMetrics, ForecastBackend, IdentifyBackend,
+        ScenarioMatch, StreamConfig, StreamEngine, StreamSession, TickMetrics, WarningLevel,
+        WarningTransition,
     };
 }
